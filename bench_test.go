@@ -1,0 +1,450 @@
+// Benchmarks that regenerate the paper's evaluation artifacts, one per
+// table and figure (see DESIGN.md §4 for the experiment index and
+// cmd/benchtab for the harness that prints paper-style rows). Absolute
+// times differ from the 2004 hardware; the shapes — who wins, by what
+// factor, where overheads fall — are the reproduction targets.
+package gridbcg
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/cluster"
+	"repro/internal/htm"
+	"repro/internal/maxbcg"
+	"repro/internal/perfmodel"
+	"repro/internal/sky"
+	"repro/internal/sqldb"
+	"repro/internal/tam"
+	"repro/internal/zone"
+)
+
+// Shared fixtures: one synthetic survey, generated once.
+var (
+	benchOnce sync.Once
+	benchCat  *sky.Catalog
+)
+
+func benchCatalog(b *testing.B) *sky.Catalog {
+	b.Helper()
+	benchOnce.Do(func() {
+		cat, err := sky.Generate(sky.GenConfig{
+			Region: astro.MustBox(193.9, 196.4, 1.2, 3.8),
+			Seed:   20040801, // the paper's first submission date
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchCat = cat
+	})
+	return benchCat
+}
+
+// benchTarget is the standard benchmark target: 0.5 x 1.2 deg with full
+// 1-degree import margins inside the survey.
+func benchTarget() astro.Box { return astro.MustBox(194.9, 195.4, 1.9, 3.1) }
+
+// --- Table 1: SQL cluster performance, no partitioning vs 3-way ----------
+
+func BenchmarkTable1NoPartition(b *testing.B) {
+	cat := benchCatalog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Run(cat, benchTarget(), cluster.Config{
+			Nodes: 1, Params: maxbcg.DefaultParams(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed, cpu, io, gals := res.Totals()
+		b.ReportMetric(elapsed.Seconds(), "elapsed-s")
+		b.ReportMetric(cpu.Seconds(), "cpu-s")
+		b.ReportMetric(float64(io), "io-ops")
+		b.ReportMetric(float64(gals), "galaxies")
+	}
+}
+
+func BenchmarkTable1ThreeWay(b *testing.B) {
+	cat := benchCatalog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Run(cat, benchTarget(), cluster.Config{
+			Nodes: 3, Params: maxbcg.DefaultParams(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed, cpu, io, gals := res.Totals()
+		b.ReportMetric(elapsed.Seconds(), "elapsed-s")
+		b.ReportMetric(cpu.Seconds(), "cpu-s")
+		b.ReportMetric(float64(io), "io-ops")
+		b.ReportMetric(float64(gals), "galaxies")
+	}
+}
+
+// --- Table 2: scale-factor arithmetic -------------------------------------
+
+func BenchmarkTable2ScaleFactors(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		s := perfmodel.ComputeScaleFactors(perfmodel.TAMConfig(), perfmodel.SQLConfig())
+		total = s.Total
+	}
+	b.ReportMetric(total, "total-scale-factor")
+}
+
+// --- Table 3: TAM baseline vs SQL implementation --------------------------
+
+// table3Target is one TAM field: 0.25 deg².
+func table3Target() astro.Box { return astro.MustBox(195.0, 195.5, 2.3, 2.8) }
+
+func BenchmarkTable3TAMBaseline(b *testing.B) {
+	cat := benchCatalog(b)
+	cfg := tam.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tam.Run(cat, table3Target(), cfg, b.TempDir()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3SQLServer(b *testing.B) {
+	cat := benchCatalog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := sqldb.Open(0)
+		f, err := maxbcg.NewDBFinder(db, maxbcg.DefaultParams(), cat.Kcorr, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.ImportGalaxies(cat, table3Target().Expand(1.0)); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := f.Run(table3Target(), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 1: the TAM buffer compromise ----------------------------------
+
+func BenchmarkFigure1BufferTruncation(b *testing.B) {
+	cat := benchCatalog(b)
+	target := table3Target()
+	truncated := 0.0
+	for i := 0; i < b.N; i++ {
+		small := tam.DefaultConfig() // 0.25 deg buffer
+		small.Kcorr = cat.Kcorr
+		big := small
+		big.BufferDeg = 0.5 // the ideal Figure 1 dashed area
+		rs, err := tam.Run(cat, target, small, b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rb, err := tam.Run(cat, target, big, b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		smallBy := make(map[int64]maxbcg.Candidate, len(rs.Candidates))
+		for _, c := range rs.Candidates {
+			smallBy[c.ObjID] = c
+		}
+		truncated = 0
+		for _, c := range rb.Candidates {
+			if s, ok := smallBy[c.ObjID]; !ok || s.NGal < c.NGal {
+				truncated++
+			}
+		}
+		b.ReportMetric(truncated, "truncated-candidates")
+		b.ReportMetric(float64(len(rb.Candidates)), "ideal-candidates")
+	}
+}
+
+// --- Figure 2: candidate pipeline densities --------------------------------
+
+func BenchmarkFigure2CandidateDensity(b *testing.B) {
+	cat := benchCatalog(b)
+	f, err := maxbcg.NewFinder(cat, maxbcg.DefaultParams(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	area := table3Target()
+	n := 0
+	for i := range cat.Galaxies {
+		if area.Contains(cat.Galaxies[i].Ra, cat.Galaxies[i].Dec) {
+			n++
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := f.FindCandidates(area)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(cands))/float64(n)*100, "candidate-pct")
+		b.ReportMetric(float64(n)/area.FlatArea()*0.25, "galaxies-per-field")
+	}
+}
+
+// --- Figure 3: 5-parameter selection from the Galaxy table -----------------
+
+func BenchmarkFigure3Selection(b *testing.B) {
+	cat := benchCatalog(b)
+	db := sqldb.Open(0)
+	f, err := maxbcg.NewDBFinder(db, maxbcg.DefaultParams(), cat.Kcorr, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.ImportGalaxies(cat, cat.Region); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("FullScanFilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query(`SELECT COUNT(*) FROM galaxy
+				WHERE ra BETWEEN 194.9 AND 195.4 AND dec BETWEEN 2.3 AND 2.8`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows.Next()
+		}
+	})
+	b.Run("ClusteredRangeScan", func(b *testing.B) {
+		// objid is the clustered key; a range on it prunes pages.
+		for i := 0; i < b.N; i++ {
+			rows, err := db.Query("SELECT COUNT(*) FROM galaxy WHERE objid BETWEEN 1000 AND 2000")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows.Next()
+		}
+	})
+}
+
+// --- Figure 4: buffer overhead shrinks with target size --------------------
+
+func BenchmarkFigure4BufferOverhead(b *testing.B) {
+	cat := benchCatalog(b)
+	for _, side := range []float64{0.5, 1.0, 2.0} {
+		b.Run(fmt.Sprintf("side-%gdeg", side), func(b *testing.B) {
+			target := astro.MustBox(195.15-side/2, 195.15+side/2, 2.5-side/2, 2.5+side/2)
+			buffered := target.Expand(0.5)
+			overhead := buffered.FlatArea() / target.FlatArea()
+			f, err := maxbcg.NewFinder(cat, maxbcg.DefaultParams(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.FindCandidates(buffered); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(overhead, "buffer-overhead-x")
+		})
+	}
+}
+
+// --- Figure 5: candidate max-likelihood search -----------------------------
+
+func BenchmarkFigure5CandidateSearch(b *testing.B) {
+	cat := benchCatalog(b)
+	f, err := maxbcg.NewFinder(cat, maxbcg.DefaultParams(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands, err := f.FindCandidates(table3Target().Expand(0.5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := maxbcg.DefaultParams()
+	b.Run("CandidateSet", func(b *testing.B) {
+		cset := maxbcg.NewCandidateSet(cands)
+		for i := 0; i < b.N; i++ {
+			c := cands[i%len(cands)]
+			if _, err := maxbcg.IsCluster(p, c, cat.Kcorr, cset); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NaiveScan", func(b *testing.B) {
+		naive := naiveCandidateSearcher(cands)
+		for i := 0; i < b.N; i++ {
+			c := cands[i%len(cands)]
+			if _, err := maxbcg.IsCluster(p, c, cat.Kcorr, naive); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// naiveCandidateSearcher scans every candidate per query: the
+// "no index on the Candidates table" ablation.
+type naiveCandidateSearcher []maxbcg.Candidate
+
+func (s naiveCandidateSearcher) SearchCandidates(ra, dec, r float64, visit func(maxbcg.Candidate)) error {
+	r2 := astro.Chord2FromAngle(r)
+	center := astro.UnitVector(ra, dec)
+	for _, c := range s {
+		if center.Chord2(astro.UnitVector(c.Ra, c.Dec)) < r2 {
+			visit(c)
+		}
+	}
+	return nil
+}
+
+// --- Figure 6: partition planning and speedup ------------------------------
+
+func BenchmarkFigure6Partitioning(b *testing.B) {
+	cat := benchCatalog(b)
+	survey := astro.MustBox(172, 185, -3, 5)
+	paperTarget := astro.MustBox(173, 184, -2, 4)
+	for i := 0; i < b.N; i++ {
+		parts, err := cluster.Plan(paperTarget, 3, 0.5, survey)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dup := cluster.DuplicatedArea(parts, paperTarget, 0.5, survey)
+		b.ReportMetric(dup, "duplicated-deg2") // paper: 4 x 13 = 52
+	}
+	for _, nodes := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("run-%dnodes", nodes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.Run(cat, benchTarget(), cluster.Config{
+					Nodes: nodes, Params: maxbcg.DefaultParams(),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Elapsed.Seconds(), "elapsed-s")
+			}
+		})
+	}
+}
+
+// --- Ablations: the design choices §2.6 credits ----------------------------
+
+// BenchmarkAblationEarlyFilter removes the χ² early filter (cutoff → ∞) so
+// every galaxy reaches the neighbour-count stage: the cost the early JOIN
+// filter avoids.
+func BenchmarkAblationEarlyFilter(b *testing.B) {
+	cat := benchCatalog(b)
+	small := astro.MustBox(195.1, 195.3, 2.45, 2.65)
+	run := func(b *testing.B, cutoff float64) {
+		p := maxbcg.DefaultParams()
+		p.Chi2Cutoff = cutoff
+		f, err := maxbcg.NewFinder(cat, p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.FindCandidates(small); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("WithEarlyFilter", func(b *testing.B) { run(b, maxbcg.DefaultParams().Chi2Cutoff) })
+	b.Run("NoEarlyFilter", func(b *testing.B) { run(b, 1e9) })
+}
+
+// BenchmarkAblationSpatialIndex compares the three neighbour-search access
+// paths on identical queries: zone (the paper's choice), HTM (rejected for
+// performance), and a full scan.
+func BenchmarkAblationSpatialIndex(b *testing.B) {
+	cat := benchCatalog(b)
+	zidx, err := zone.Build(cat.Galaxies, astro.ZoneHeightDeg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hidx, err := htm.Build(cat.Galaxies, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := func(i int) (float64, float64) {
+		return 194.5 + float64(i%100)*0.015, 2.0 + float64(i%37)*0.04
+	}
+	b.Run("Zone", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			ra, dec := query(i)
+			zidx.Visit(ra, dec, 0.25, func(zone.Neighbor) { n++ })
+		}
+	})
+	b.Run("HTM", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			ra, dec := query(i)
+			hidx.Visit(ra, dec, 0.25, func(htm.Entry, float64) { n++ })
+		}
+	})
+	b.Run("FullScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ra, dec := query(i)
+			zone.BruteForce(cat.Galaxies, ra, dec, 0.25)
+		}
+	})
+}
+
+// BenchmarkAblationZoneHeight sweeps the zone height: too thin means many
+// zone seeks, too thick means wide ra scans.
+func BenchmarkAblationZoneHeight(b *testing.B) {
+	cat := benchCatalog(b)
+	for _, h := range []float64{astro.ZoneHeightDeg, 4 * astro.ZoneHeightDeg, 0.1, 0.5} {
+		b.Run(fmt.Sprintf("h-%.4fdeg", h), func(b *testing.B) {
+			idx, err := zone.Build(cat.Galaxies, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				ra := 194.5 + float64(i%100)*0.015
+				idx.Visit(ra, 2.5, 0.25, func(zone.Neighbor) { n++ })
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCursorVsApply reproduces §2.6's "SQL cursors ... are
+// very slow": fetching rows one query at a time vs one set-oriented
+// statement.
+func BenchmarkAblationCursorVsApply(b *testing.B) {
+	db := sqldb.Open(0)
+	if _, err := db.Exec("CREATE TABLE t (k bigint PRIMARY KEY, v float)"); err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := db.Table("t")
+	const rows = 2000
+	for i := 0; i < rows; i++ {
+		if err := tbl.Insert([]sqldb.Value{sqldb.Int(int64(i)), sqldb.Float(float64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("RowAtATimeQueries", func(b *testing.B) {
+		// One statement per row, the cursor pattern of spMakeCandidates.
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for k := 0; k < rows; k++ {
+				r, err := db.Query("SELECT v FROM t WHERE k = ?", sqldb.Int(int64(k)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Next()
+				v, _ := r.Row()[0].AsFloat()
+				sum += v
+			}
+		}
+	})
+	b.Run("SetOriented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := db.Query("SELECT SUM(v) FROM t")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Next()
+		}
+	})
+}

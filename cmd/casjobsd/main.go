@@ -1,0 +1,54 @@
+// Command casjobsd serves the CasJobs batch-query system over HTTP:
+// shared read-only catalog contexts, per-user MyDBs, quick and long job
+// queues. It loads a skygen catalog as the "DR1" context at startup,
+// including the Zone table and the fGetNearbyObjEqZd function, so the
+// paper's sample queries work out of the box.
+//
+// Endpoints (JSON): see casjobs.Server.Handler.
+//
+// Usage: casjobsd -cat sky.cat [-addr :8420]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/casjobs"
+	"repro/internal/maxbcg"
+	"repro/internal/sky"
+	"repro/internal/sqldb"
+)
+
+func main() {
+	var (
+		catPath = flag.String("cat", "sky.cat", "catalog file for the DR1 context")
+		addr    = flag.String("addr", ":8420", "listen address")
+		workers = flag.Int("workers", 4, "long-queue workers")
+	)
+	flag.Parse()
+
+	cat, err := sky.LoadFile(*catPath)
+	if err != nil {
+		log.Fatalf("casjobsd: %v", err)
+	}
+	cas := sqldb.Open(0)
+	finder, err := maxbcg.NewDBFinder(cas, maxbcg.DefaultParams(), cat.Kcorr, 0)
+	if err != nil {
+		log.Fatalf("casjobsd: %v", err)
+	}
+	n, err := finder.ImportGalaxies(cat, cat.Region)
+	if err != nil {
+		log.Fatalf("casjobsd: %v", err)
+	}
+	if err := finder.SpZone(); err != nil {
+		log.Fatalf("casjobsd: %v", err)
+	}
+	log.Printf("casjobsd: DR1 context loaded with %d galaxies (+ Zone table and fGetNearbyObjEqZd)", n)
+
+	srv := casjobs.NewServer(map[string]*sqldb.DB{"DR1": cas}, *workers)
+	defer srv.Close()
+
+	log.Printf("casjobsd: listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

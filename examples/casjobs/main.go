@@ -1,0 +1,96 @@
+// Casjobs: the paper's §4 batch-query workflow — a user submits SQL
+// against the shared CAS context, stores the extraction in MyDB, runs the
+// paper's neighbour function through the engine, and shares the result
+// with a collaboration group.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/casjobs"
+	"repro/internal/maxbcg"
+	"repro/internal/sqldb"
+)
+
+func main() {
+	// Build the shared CAS context: Galaxy + Kcorr + Zone tables and the
+	// fGetNearbyObjEqZd table-valued function.
+	cat, err := gridbcg.GenerateSky(gridbcg.SkyConfig{
+		Region: gridbcg.MustBox(195.0, 196.0, 2.0, 3.0),
+		Seed:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cas := sqldb.Open(0)
+	finder, err := maxbcg.NewDBFinder(cas, maxbcg.DefaultParams(), cat.Kcorr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := finder.ImportGalaxies(cat, cat.Region); err != nil {
+		log.Fatal(err)
+	}
+	if err := finder.SpZone(); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := casjobs.NewServer(map[string]*sqldb.DB{"DR1": cas}, 2)
+	defer srv.Close()
+	for _, u := range []string{"maria", "jim"} {
+		if err := srv.CreateUser(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("contexts:", srv.Contexts())
+
+	// A quick interactive query against the shared context.
+	job, err := srv.Submit("maria", "DR1",
+		"SELECT COUNT(*) FROM galaxy WHERE i < 18", "", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := job.Rows()
+	rows.Next()
+	fmt.Printf("quick query: %v bright galaxies (job %d, %s)\n",
+		rows.Row()[0], job.ID, job.Status())
+
+	// The paper's sample invocation, through the long queue into MyDB.
+	job, err = srv.Submit("maria", "DR1",
+		"SELECT objID, distance FROM fGetNearbyObjEqZd(195.5, 2.5, 0.25) n ORDER BY distance",
+		"neighbors", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if status, _ := srv.Wait(job.ID); status != casjobs.StatusFinished {
+		log.Fatalf("job failed: %s", job.Err())
+	}
+	fmt.Printf("long job %d: %d neighbours of (195.5, 2.5) stored in MyDB.neighbors\n",
+		job.ID, job.RowCount())
+
+	// MyDB gives full power: index the result, refine it, share it.
+	job, err = srv.Submit("maria", "MYDB",
+		"SELECT COUNT(*) FROM neighbors WHERE distance < 0.1", "", true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := job.Rows()
+	r.Next()
+	fmt.Printf("MyDB refinement: %v neighbours within 0.1°\n", r.Row()[0])
+
+	if err := srv.CreateGroup("cluster-hunters", "maria"); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.JoinGroup("cluster-hunters", "jim"); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Publish("maria", "neighbors", "cluster-hunters"); err != nil {
+		log.Fatal(err)
+	}
+	n, err := srv.Import("jim", "cluster-hunters", "neighbors", "maria_neighbors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shared: jim imported %d rows of maria's table into his MyDB\n", n)
+}

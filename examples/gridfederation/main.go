@@ -1,0 +1,108 @@
+// Gridfederation: the paper's §4 "gridified" MaxBCG — three autonomous
+// organizations (JHU, Fermilab, IUCAA) each host part of the survey; the
+// application code is deployed to every site holding relevant data, sites
+// exchange only thin boundary strips, and the merged catalog comes back to
+// the origin. The byte accounting quantifies "move the code to the data".
+// A Chimera-style virtual data catalog records the provenance of the
+// final catalog.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/condor"
+	"repro/internal/grid"
+)
+
+func main() {
+	cat, err := gridbcg.GenerateSky(gridbcg.SkyConfig{
+		Region: gridbcg.MustBox(193.9, 196.4, 1.2, 3.9),
+		Seed:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three declination-disjoint sites.
+	jhu, err := grid.NewSite("JHU", cat, gridbcg.MustBox(193.9, 196.4, 1.2, 2.1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fnal, err := grid.NewSite("Fermilab", cat, gridbcg.MustBox(193.9, 196.4, 2.1, 3.0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	iucaa, err := grid.NewSite("IUCAA", cat, gridbcg.MustBox(193.9, 196.4, 3.0, 3.9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fed, err := grid.NewFederation(jhu, fnal, iucaa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range fed.Sites() {
+		fmt.Printf("site %-9s hosts %6d galaxies (dec %+5.2f..%+5.2f)\n",
+			s.Name, s.Holdings(), s.Region.MinDec, s.Region.MaxDec)
+	}
+
+	// Deploy the application to the data and run over a survey-scale
+	// target spanning all three sites (the one-off boundary exchange
+	// amortises over the analysis area; tiny targets would not pay).
+	target := gridbcg.MustBox(194.9, 195.4, 1.4, 3.7)
+	app := grid.DefaultApp(cat.Kcorr)
+	merged, runs, stats, err := fed.RunMaxBCG(target, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range runs {
+		fmt.Printf("  %-9s processed %6d rows in %7.2fs -> target dec %+5.2f..%+5.2f\n",
+			r.Site, r.Rows, r.Elapsed.Seconds(), r.Target.MinDec, r.Target.MaxDec)
+	}
+	fmt.Printf("merged catalog: %s\n", merged.Summary())
+	fmt.Printf("bytes moved, first run:   %9d  (code %d + one-off boundary strips %d + results %d)\n",
+		stats.Moved(), stats.CodeBytes, stats.BoundaryBytes, stats.ResultBytes)
+	fmt.Printf("bytes moved, steady state:%9d  per analysis (boundary strips are static, kept like\n",
+		stats.SteadyStateMoved())
+	fmt.Println("                                     the paper's duplicated partition buffers)")
+	fmt.Printf("file-shipping baseline:   %9d  per analysis (Target+Buffer files per 0.25 deg² field)\n",
+		stats.DataShippingBytes)
+	fmt.Printf("=> code-to-data moves %.0fx fewer bytes per analysis at steady state\n",
+		float64(stats.DataShippingBytes)/float64(stats.SteadyStateMoved()))
+
+	// Record provenance in a Chimera-style virtual data catalog.
+	vdc := condor.NewVDC()
+	noop := func(map[string]string, []string, string) error { return nil }
+	if err := vdc.AddTransformation(condor.Transformation{Name: "deployMaxBCG", Exec: noop}); err != nil {
+		log.Fatal(err)
+	}
+	if err := vdc.AddTransformation(condor.Transformation{Name: "mergeCatalogs", Exec: noop}); err != nil {
+		log.Fatal(err)
+	}
+	var siteOutputs []string
+	for _, r := range runs {
+		vdc.AddExisting("cas://" + r.Site + "/galaxy")
+		out := "clusters://" + r.Site
+		if err := vdc.AddDerivation(condor.Derivation{
+			Output: out, Transformation: "deployMaxBCG",
+			Inputs: []string{"cas://" + r.Site + "/galaxy"},
+		}); err != nil {
+			log.Fatal(err)
+		}
+		siteOutputs = append(siteOutputs, out)
+	}
+	if err := vdc.AddDerivation(condor.Derivation{
+		Output: "clusters://merged", Transformation: "mergeCatalogs", Inputs: siteOutputs,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := vdc.Materialize("clusters://merged"); err != nil {
+		log.Fatal(err)
+	}
+	chain, err := vdc.Provenance("clusters://merged")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provenance: %d invocations recorded for clusters://merged\n", len(chain))
+}

@@ -1,0 +1,100 @@
+// Tamvsdb: the paper's headline comparison in miniature — the same target
+// area processed by the file-based TAM pipeline (per-field Target/Buffer
+// files, linear buffer scans, 100-step k-table, 0.25° buffer) and by the
+// database implementation (zone-clustered storage, early χ² filtering,
+// 1000-step k-table, 0.5° buffer).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/maxbcg"
+	"repro/internal/sqldb"
+)
+
+func main() {
+	cat, err := gridbcg.GenerateSky(gridbcg.SkyConfig{
+		Region: gridbcg.MustBox(194.0, 196.3, 1.4, 3.6),
+		Seed:   11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := gridbcg.MustBox(194.9, 195.9, 2.0, 3.0) // 1 deg² = 4 TAM fields
+
+	// --- TAM baseline -----------------------------------------------------
+	dir, err := os.MkdirTemp("", "tam")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := gridbcg.DefaultTAMConfig()
+	start := time.Now()
+	tamRes, err := gridbcg.RunTAM(cat, target, cfg, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tamTime := time.Since(start)
+	fmt.Printf("TAM file pipeline: %8v  (%d fields, %.2f° buffer, %d z-steps)\n",
+		tamTime.Round(time.Millisecond), len(target.Fields(cfg.FieldSideDeg)),
+		cfg.BufferDeg, cfg.Kcorr.Steps())
+	fmt.Printf("                   %s\n", tamRes.Summary())
+
+	// --- Database implementation -------------------------------------------
+	db := sqldb.Open(0)
+	finder, err := gridbcg.NewDBFinder(db, gridbcg.DefaultParams(), cat.Kcorr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := finder.ImportGalaxies(cat, cat.Region); err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	dbRes, report, err := finder.Run(target, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dbTime := time.Since(start)
+	fmt.Printf("DB implementation: %8v  (0.50° buffer, %d z-steps)\n",
+		dbTime.Round(time.Millisecond), cat.Kcorr.Steps())
+	fmt.Printf("                   %s\n", dbRes.Summary())
+	for _, t := range report.Tasks {
+		fmt.Printf("                   %-24s %8.3fs  %9d I/O\n", t.Name, t.Elapsed.Seconds(), t.IO)
+	}
+
+	// The TAM run above did ~22x less work (coarse z-steps, small
+	// buffer). Run the file pipeline at the SQL configuration for the
+	// apples-to-apples comparison — which also proves both
+	// implementations compute the identical catalog.
+	eq := gridbcg.DefaultTAMConfig()
+	eq.BufferDeg = 0.5
+	eq.Kcorr = cat.Kcorr
+	eq.NodeRAMBytes = 0
+	start = time.Now()
+	eqRes, err := gridbcg.RunTAM(cat, target, eq, dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eqTime := time.Since(start)
+	fmt.Printf("TAM at SQL config: %8v  (0.50° buffer, %d z-steps, linear buffer scans)\n",
+		eqTime.Round(time.Millisecond), eq.Kcorr.Steps())
+	fmt.Printf("\nequal work: DB is %.1fx faster than the file pipeline.\n",
+		eqTime.Seconds()/dbTime.Seconds())
+	fmt.Println("(The paper measured 44x against the original Tcl/C implementation on 2004")
+	fmt.Println(" hardware; our baseline shares the DB's compiled inner loops, so the")
+	fmt.Println(" remaining gap is purely the access-path advantage the paper credits:")
+	fmt.Println(" early filtering and zone-indexed neighbour searches.)")
+	same := len(eqRes.Clusters) == len(dbRes.Clusters)
+	for i := range eqRes.Clusters {
+		if !same || eqRes.Clusters[i].ObjID != dbRes.Clusters[i].ObjID {
+			same = false
+			break
+		}
+	}
+	fmt.Printf("cross-check: TAM with the SQL configuration reproduces the DB catalog exactly: %v\n", same)
+	_ = maxbcg.DefaultParams()
+}

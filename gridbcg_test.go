@@ -1,0 +1,95 @@
+package gridbcg
+
+import (
+	"testing"
+)
+
+// TestQuickStart exercises the documented one-call path on a small field.
+func TestQuickStart(t *testing.T) {
+	cat, err := GenerateSky(SkyConfig{
+		Region: MustBox(195.0, 196.0, 2.0, 3.0),
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindClusters(cat, MustBox(195.35, 195.65, 2.35, 2.65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 {
+		t.Error("quick start found no clusters in a dense field")
+	}
+	if res.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestPartitionedFacade checks the multi-node wrapper and its §2.4
+// identity against the sequential answer.
+func TestPartitionedFacade(t *testing.T) {
+	cat, err := GenerateSky(SkyConfig{
+		Region: MustBox(194.4, 196.2, 1.6, 3.4),
+		Seed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := MustBox(195.4, 195.7, 2.1, 2.9)
+	seq, err := RunPartitioned(cat, target, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunPartitioned(cat, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Merged.Clusters) != len(par.Merged.Clusters) {
+		t.Fatalf("partitioned answer differs: %d vs %d clusters",
+			len(par.Merged.Clusters), len(seq.Merged.Clusters))
+	}
+}
+
+// TestDBFacade runs the database-backed path through the public API.
+func TestDBFacade(t *testing.T) {
+	cat, err := GenerateSky(SkyConfig{
+		Region: MustBox(195.0, 196.0, 2.0, 3.0),
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := OpenDB(0)
+	finder, err := NewDBFinder(db, DefaultParams(), cat.Kcorr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := finder.ImportGalaxies(cat, cat.Region); err != nil {
+		t.Fatal(err)
+	}
+	res, report, err := finder.Run(MustBox(195.4, 195.6, 2.4, 2.6), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Error("no candidates from DB facade")
+	}
+	if len(report.Tasks) < 3 {
+		t.Errorf("task report has %d rows", len(report.Tasks))
+	}
+}
+
+// TestKcorrFacade checks the convenience constructor mirrors the paper's
+// two configurations.
+func TestKcorrFacade(t *testing.T) {
+	tam, err := NewKcorr(100, 0.5)
+	if err != nil || tam.Steps() != 100 {
+		t.Fatalf("TAM kcorr: %v, steps %d", err, tam.Steps())
+	}
+	if _, err := NewKcorr(1, 0.5); err == nil {
+		t.Error("invalid kcorr accepted")
+	}
+	if _, err := NewBox(5, 1, 0, 1); err == nil {
+		t.Error("invalid box accepted")
+	}
+}

@@ -1,0 +1,519 @@
+// Package casjobs implements the SDSS Batch Query System of the paper's
+// §4: users submit SQL against shared catalog contexts (the CAS databases)
+// or their personal server-side database (MyDB); long-running queries are
+// queued and executed by workers; results land in MyDB tables; users form
+// groups and share tables. CasJobs is the paper's mechanism for "bringing
+// the code to the data".
+package casjobs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sqldb"
+)
+
+// JobStatus is the lifecycle of a submitted query.
+type JobStatus int
+
+// Job states.
+const (
+	StatusQueued JobStatus = iota
+	StatusRunning
+	StatusFinished
+	StatusFailed
+	StatusCancelled
+)
+
+// String implements fmt.Stringer.
+func (s JobStatus) String() string {
+	switch s {
+	case StatusQueued:
+		return "queued"
+	case StatusRunning:
+		return "running"
+	case StatusFinished:
+		return "finished"
+	case StatusFailed:
+		return "failed"
+	case StatusCancelled:
+		return "cancelled"
+	}
+	return "unknown"
+}
+
+// Job is one submitted query.
+type Job struct {
+	ID      int64
+	User    string
+	Context string // "MYDB" or a shared context name (e.g. "DR1")
+	Query   string
+	// OutputTable, when set, materialises the result into this MyDB
+	// table (the CasJobs "SELECT ... INTO mydb.Name" behaviour).
+	OutputTable string
+	Quick       bool
+
+	mu       sync.Mutex
+	status   JobStatus
+	err      string
+	rows     *sqldb.Rows
+	rowCount int64
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	done     chan struct{}
+}
+
+// Status returns the job's current state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Err returns the failure message for failed jobs.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Rows returns the result set of a finished SELECT job (nil when the
+// output went to a MyDB table or the statement returned no rows).
+func (j *Job) Rows() *sqldb.Rows {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rows
+}
+
+// RowCount returns the affected/returned row count.
+func (j *Job) RowCount() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rowCount
+}
+
+// Elapsed returns the execution duration of a completed job.
+func (j *Job) Elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// user is one registered account with its MyDB.
+type user struct {
+	name string
+	mydb *sqldb.DB
+}
+
+// Server is the CasJobs service.
+type Server struct {
+	mu       sync.Mutex
+	contexts map[string]*sqldb.DB // shared read-only catalogs
+	users    map[string]*user
+	groups   map[string]map[string]bool // group -> members
+	shared   map[string]sharedTable     // "group/table" -> source
+	jobs     map[int64]*Job
+	nextID   int64
+	queue    chan *Job
+	wg       sync.WaitGroup
+	closed   bool
+	// MyDBFrames sizes each user's buffer pool.
+	MyDBFrames int
+}
+
+type sharedTable struct {
+	owner string
+	table string
+}
+
+// NewServer creates a CasJobs service over the given shared contexts (name
+// -> database) with the given number of long-queue workers.
+func NewServer(contexts map[string]*sqldb.DB, workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Server{
+		contexts:   make(map[string]*sqldb.DB),
+		users:      make(map[string]*user),
+		groups:     make(map[string]map[string]bool),
+		shared:     make(map[string]sharedTable),
+		jobs:       make(map[int64]*Job),
+		queue:      make(chan *Job, 1024),
+		MyDBFrames: 1024,
+	}
+	for name, db := range contexts {
+		s.contexts[strings.ToUpper(name)] = db
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close drains the long queue and stops the workers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// CreateUser registers an account and provisions its MyDB.
+func (s *Server) CreateUser(name string) error {
+	if name == "" {
+		return fmt.Errorf("casjobs: empty user name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := s.users[key]; dup {
+		return fmt.Errorf("casjobs: user %q already exists", name)
+	}
+	s.users[key] = &user{name: name, mydb: sqldb.Open(s.MyDBFrames)}
+	return nil
+}
+
+// MyDB returns a user's personal database (full power: create tables,
+// indexes, run any statement).
+func (s *Server) MyDB(userName string) (*sqldb.DB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[strings.ToLower(userName)]
+	if !ok {
+		return nil, fmt.Errorf("casjobs: unknown user %q", userName)
+	}
+	return u.mydb, nil
+}
+
+// Contexts lists the shared catalog names.
+func (s *Server) Contexts() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.contexts))
+	for name := range s.contexts {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit queues a query. quick jobs run synchronously (the CasJobs quick
+// queue, meant for short interactive queries); long jobs go to the worker
+// queue. Against a shared context only SELECT is allowed; against MYDB any
+// statement runs.
+func (s *Server) Submit(userName, context, query, outputTable string, quick bool) (*Job, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("casjobs: server is closed")
+	}
+	u, ok := s.users[strings.ToLower(userName)]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("casjobs: unknown user %q", userName)
+	}
+	ctx := strings.ToUpper(context)
+	if ctx != "MYDB" {
+		if _, ok := s.contexts[ctx]; !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("casjobs: unknown context %q", context)
+		}
+	}
+	s.nextID++
+	job := &Job{
+		ID: s.nextID, User: u.name, Context: ctx, Query: query,
+		OutputTable: outputTable, Quick: quick,
+		status: StatusQueued, created: time.Now(),
+		done: make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.mu.Unlock()
+
+	if quick {
+		s.execute(job)
+		return job, nil
+	}
+	s.queue <- job
+	return job, nil
+}
+
+// Job looks up a submitted job by id.
+func (s *Server) Job(id int64) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("casjobs: no job %d", id)
+	}
+	return j, nil
+}
+
+// Jobs lists a user's jobs, oldest first.
+func (s *Server) Jobs(userName string) []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Job
+	for _, j := range s.jobs {
+		if strings.EqualFold(j.User, userName) {
+			out = append(out, j)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Wait blocks until the job completes and returns its final status.
+func (s *Server) Wait(id int64) (JobStatus, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return 0, err
+	}
+	<-j.done
+	return j.Status(), nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.execute(job)
+	}
+}
+
+func (s *Server) execute(job *Job) {
+	job.mu.Lock()
+	if job.status == StatusCancelled {
+		job.mu.Unlock()
+		return
+	}
+	job.status = StatusRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	status, errMsg := StatusFinished, ""
+	var rows *sqldb.Rows
+	var count int64
+	err := func() error {
+		s.mu.Lock()
+		u := s.users[strings.ToLower(job.User)]
+		ctxDB := s.contexts[job.Context]
+		s.mu.Unlock()
+
+		if job.Context == "MYDB" {
+			if job.OutputTable != "" {
+				r, err := u.mydb.Query(job.Query)
+				if err != nil {
+					return err
+				}
+				n, err := materialize(u.mydb, job.OutputTable, r)
+				count = n
+				return err
+			}
+			if isSelect(job.Query) {
+				r, err := u.mydb.Query(job.Query)
+				if err != nil {
+					return err
+				}
+				rows = r
+				count = int64(r.Len())
+				return nil
+			}
+			n, err := u.mydb.Exec(job.Query)
+			count = n
+			return err
+		}
+		// Shared context: read-only.
+		if !isSelect(job.Query) {
+			return fmt.Errorf("casjobs: context %s is read-only; only SELECT is allowed", job.Context)
+		}
+		r, err := ctxDB.Query(job.Query)
+		if err != nil {
+			return err
+		}
+		if job.OutputTable != "" {
+			n, err := materialize(u.mydb, job.OutputTable, r)
+			count = n
+			return err
+		}
+		rows = r
+		count = int64(r.Len())
+		return nil
+	}()
+	if err != nil {
+		status, errMsg = StatusFailed, err.Error()
+	}
+
+	job.mu.Lock()
+	job.status = status
+	job.err = errMsg
+	job.rows = rows
+	job.rowCount = count
+	job.finished = time.Now()
+	job.mu.Unlock()
+	close(job.done)
+}
+
+// Cancel marks a queued job cancelled; running jobs are not interrupted.
+func (s *Server) Cancel(id int64) error {
+	j, err := s.Job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return fmt.Errorf("casjobs: job %d is %s, not queued", id, j.status)
+	}
+	j.status = StatusCancelled
+	close(j.done)
+	return nil
+}
+
+// isSelect reports whether the script is a single read-only statement.
+func isSelect(query string) bool {
+	stmt, err := sqldb.Parse(query)
+	if err != nil {
+		return false // let execution surface the parse error
+	}
+	_, ok := stmt.(*sqldb.SelectStmt)
+	return ok
+}
+
+// materialize stores a result set as a fresh MyDB table. Column types are
+// inferred from the first non-null value of each column (FLOAT otherwise).
+func materialize(db *sqldb.DB, table string, rows *sqldb.Rows) (int64, error) {
+	_ = db.DropTable(table, true)
+	cols := make([]sqldb.Column, len(rows.Columns))
+	all := rows.All()
+	for i, name := range rows.Columns {
+		typ := sqldb.TFloat
+		for _, r := range all {
+			if !r[i].IsNull() {
+				typ = r[i].T
+				break
+			}
+		}
+		cols[i] = sqldb.Column{Name: name, Type: typ}
+	}
+	t, err := db.CreateTable(table, cols, "")
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, r := range all {
+		if err := t.Insert(r); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// CreateGroup registers a sharing group owned by its first member.
+func (s *Server) CreateGroup(group, owner string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[strings.ToLower(owner)]; !ok {
+		return fmt.Errorf("casjobs: unknown user %q", owner)
+	}
+	key := strings.ToLower(group)
+	if _, dup := s.groups[key]; dup {
+		return fmt.Errorf("casjobs: group %q already exists", group)
+	}
+	s.groups[key] = map[string]bool{strings.ToLower(owner): true}
+	return nil
+}
+
+// JoinGroup adds a member to a group.
+func (s *Server) JoinGroup(group, userName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[strings.ToLower(group)]
+	if !ok {
+		return fmt.Errorf("casjobs: unknown group %q", group)
+	}
+	if _, ok := s.users[strings.ToLower(userName)]; !ok {
+		return fmt.Errorf("casjobs: unknown user %q", userName)
+	}
+	g[strings.ToLower(userName)] = true
+	return nil
+}
+
+// Publish shares a MyDB table with a group.
+func (s *Server) Publish(userName, table, group string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.groups[strings.ToLower(group)]
+	if !ok {
+		return fmt.Errorf("casjobs: unknown group %q", group)
+	}
+	if !g[strings.ToLower(userName)] {
+		return fmt.Errorf("casjobs: %q is not a member of %q", userName, group)
+	}
+	u := s.users[strings.ToLower(userName)]
+	if _, ok := u.mydb.Table(table); !ok {
+		return fmt.Errorf("casjobs: no table %q in %s's MyDB", table, userName)
+	}
+	s.shared[strings.ToLower(group)+"/"+strings.ToLower(table)] = sharedTable{
+		owner: strings.ToLower(userName), table: table,
+	}
+	return nil
+}
+
+// Import copies a group-shared table into the user's MyDB under destTable.
+func (s *Server) Import(userName, group, table, destTable string) (int64, error) {
+	s.mu.Lock()
+	g, ok := s.groups[strings.ToLower(group)]
+	if !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("casjobs: unknown group %q", group)
+	}
+	if !g[strings.ToLower(userName)] {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("casjobs: %q is not a member of %q", userName, group)
+	}
+	st, ok := s.shared[strings.ToLower(group)+"/"+strings.ToLower(table)]
+	if !ok {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("casjobs: table %q is not shared with %q", table, group)
+	}
+	owner := s.users[st.owner]
+	dest := s.users[strings.ToLower(userName)]
+	s.mu.Unlock()
+
+	src, ok := owner.mydb.Table(st.table)
+	if !ok {
+		return 0, fmt.Errorf("casjobs: shared table %q vanished from the owner's MyDB", table)
+	}
+	_ = dest.mydb.DropTable(destTable, true)
+	cols := append([]sqldb.Column(nil), src.Cols...)
+	t, err := dest.mydb.CreateTable(destTable, cols, "")
+	if err != nil {
+		return 0, err
+	}
+	cur, err := src.Scan()
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	var n int64
+	for cur.Next() {
+		if err := t.Insert(cur.Row()); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, cur.Err()
+}

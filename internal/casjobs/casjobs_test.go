@@ -1,0 +1,249 @@
+package casjobs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// newTestServer builds a server with one shared "DR1" context holding a
+// small galaxy table.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	cas := sqldb.Open(256)
+	if _, err := cas.Exec("CREATE TABLE galaxy (objid bigint PRIMARY KEY, ra float, i real)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := cas.Exec("INSERT INTO galaxy VALUES (?, ?, ?)",
+			sqldb.Int(int64(i)), sqldb.Float(180+float64(i)*0.01), sqldb.Float(15+float64(i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewServer(map[string]*sqldb.DB{"DR1": cas}, 2)
+	t.Cleanup(s.Close)
+	if err := s.CreateUser("maria"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateUser("jim"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQuickQueryAgainstContext(t *testing.T) {
+	s := newTestServer(t)
+	job, err := s.Submit("maria", "DR1", "SELECT COUNT(*) FROM galaxy WHERE i < 18", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status() != StatusFinished {
+		t.Fatalf("quick job status %s: %s", job.Status(), job.Err())
+	}
+	rows := job.Rows()
+	rows.Next()
+	if rows.Row()[0].I == 0 {
+		t.Error("empty count from shared context")
+	}
+}
+
+func TestLongJobIntoMyDB(t *testing.T) {
+	s := newTestServer(t)
+	job, err := s.Submit("maria", "DR1", "SELECT objid, i FROM galaxy WHERE i < 17", "bright", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := s.Wait(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusFinished {
+		t.Fatalf("job failed: %s", job.Err())
+	}
+	// The output table exists in MyDB and is queryable with full power.
+	mydb, err := s.MyDB("maria")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := mydb.Query("SELECT COUNT(*) FROM bright")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if rows.Row()[0].I != job.RowCount() {
+		t.Errorf("MyDB table has %v rows, job reported %d", rows.Row()[0], job.RowCount())
+	}
+	// Users can correlate MyDB tables with further queries.
+	j2, err := s.Submit("maria", "MYDB", "SELECT MAX(i) FROM bright", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Status() != StatusFinished {
+		t.Fatalf("MyDB job failed: %s", j2.Err())
+	}
+}
+
+func TestMyDBFullPower(t *testing.T) {
+	s := newTestServer(t)
+	for _, stmt := range []string{
+		"CREATE TABLE notes (id int IDENTITY(1,1) PRIMARY KEY, txt text)",
+		"INSERT INTO notes (txt) VALUES ('cluster hunt')",
+	} {
+		job, err := s.Submit("jim", "MYDB", stmt, "", true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.Status() != StatusFinished {
+			t.Fatalf("%q failed: %s", stmt, job.Err())
+		}
+	}
+}
+
+func TestSharedContextIsReadOnly(t *testing.T) {
+	s := newTestServer(t)
+	job, err := s.Submit("maria", "DR1", "DELETE FROM galaxy", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Status() != StatusFailed {
+		t.Fatal("DELETE against a shared context succeeded")
+	}
+	if !strings.Contains(job.Err(), "read-only") {
+		t.Errorf("unexpected error: %s", job.Err())
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t)
+	if _, err := s.Submit("ghost", "DR1", "SELECT 1", "", true); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if _, err := s.Submit("maria", "DR9", "SELECT 1", "", true); err == nil {
+		t.Error("unknown context accepted")
+	}
+	if err := s.CreateUser("maria"); err == nil {
+		t.Error("duplicate user accepted")
+	}
+	if err := s.CreateUser(""); err == nil {
+		t.Error("empty user accepted")
+	}
+	if _, err := s.MyDB("ghost"); err == nil {
+		t.Error("MyDB of unknown user returned")
+	}
+	if _, err := s.Job(999); err == nil {
+		t.Error("unknown job id accepted")
+	}
+}
+
+func TestFailedJobReportsError(t *testing.T) {
+	s := newTestServer(t)
+	job, err := s.Submit("maria", "DR1", "SELECT broken FROM galaxy", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ := s.Wait(job.ID)
+	if status != StatusFailed || job.Err() == "" {
+		t.Errorf("bad query: status %s err %q", status, job.Err())
+	}
+}
+
+func TestJobsListing(t *testing.T) {
+	s := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Submit("maria", "DR1", "SELECT 1", "", true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Submit("jim", "DR1", "SELECT 1", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Jobs("maria")); got != 3 {
+		t.Errorf("maria has %d jobs, want 3", got)
+	}
+	if got := len(s.Jobs("jim")); got != 1 {
+		t.Errorf("jim has %d jobs, want 1", got)
+	}
+}
+
+func TestGroupsAndSharing(t *testing.T) {
+	s := newTestServer(t)
+	// Maria extracts a table and shares it with a group.
+	job, err := s.Submit("maria", "DR1", "SELECT objid, i FROM galaxy WHERE i < 16", "sample", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, _ := s.Wait(job.ID); status != StatusFinished {
+		t.Fatalf("extract failed: %s", job.Err())
+	}
+	if err := s.CreateGroup("vo-clusters", "maria"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JoinGroup("vo-clusters", "jim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish("maria", "sample", "vo-clusters"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Import("jim", "vo-clusters", "sample", "maria_sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != job.RowCount() {
+		t.Errorf("imported %d rows, want %d", n, job.RowCount())
+	}
+	mydb, _ := s.MyDB("jim")
+	rows, err := mydb.Query("SELECT COUNT(*) FROM maria_sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if rows.Row()[0].I != n {
+		t.Error("imported table row count mismatch")
+	}
+
+	// Authorization checks.
+	if err := s.Publish("jim", "nope", "vo-clusters"); err == nil {
+		t.Error("publishing a missing table succeeded")
+	}
+	if err := s.CreateGroup("vo-clusters", "jim"); err == nil {
+		t.Error("duplicate group accepted")
+	}
+	if err := s.CreateUser("outsider"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Import("outsider", "vo-clusters", "sample", "x"); err == nil {
+		t.Error("non-member import succeeded")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// A server with zero effective worker throughput: saturate the single
+	// worker with a long job, then cancel a queued one.
+	cas := sqldb.Open(64)
+	if _, err := cas.Exec("CREATE TABLE t (x int)"); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(map[string]*sqldb.DB{"DR1": cas}, 1)
+	defer s.Close()
+	if err := s.CreateUser("u"); err != nil {
+		t.Fatal(err)
+	}
+	// Queue two jobs; cancel the second immediately. There is a race on
+	// whether the worker grabs it first; accept either cancelled or a
+	// terminal state, but cancellation of a queued job must succeed when
+	// its status is still queued.
+	j1, _ := s.Submit("u", "DR1", "SELECT COUNT(*) FROM t", "", false)
+	j2, _ := s.Submit("u", "DR1", "SELECT COUNT(*) FROM t", "", false)
+	_ = j1
+	if j2.Status() == StatusQueued {
+		if err := s.Cancel(j2.ID); err == nil {
+			if st := j2.Status(); st != StatusCancelled {
+				t.Errorf("cancelled job has status %s", st)
+			}
+		}
+	}
+	if _, err := s.Submit("u", "DR1", "SELECT 1", "", true); err != nil {
+		t.Fatal(err)
+	}
+}

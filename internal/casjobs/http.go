@@ -1,0 +1,126 @@
+package casjobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Handler exposes the server over HTTP with JSON responses — the Web
+// services interface the paper expects to wrap "into the official Grid
+// specification" once DAIS became a recommendation.
+//
+//	POST /users?name=maria                       create a user + MyDB
+//	POST /submit?user=&context=&output=&quick=1  body: SQL text
+//	GET  /jobs?id=1                              one job's status/result
+//	GET  /jobs?user=maria                        a user's job list
+//	GET  /contexts                               shared context names
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/users", s.handleUsers)
+	mux.HandleFunc("/contexts", s.handleContexts)
+	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/jobs", s.handleJobs)
+	return mux
+}
+
+func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if err := s.CreateUser(r.URL.Query().Get("name")); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]string{"status": "created"})
+}
+
+func (s *Server) handleContexts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Contexts())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := r.URL.Query()
+	quick := q.Get("quick") == "1" || q.Get("quick") == "true"
+	job, err := s.Submit(q.Get("user"), q.Get("context"), string(body), q.Get("output"), quick)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, jobView(job))
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if idStr := q.Get("id"); idStr != "" {
+		id, err := strconv.ParseInt(idStr, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad id")
+			return
+		}
+		job, err := s.Job(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, jobView(job))
+		return
+	}
+	if user := q.Get("user"); user != "" {
+		views := []map[string]any{}
+		for _, j := range s.Jobs(user) {
+			views = append(views, jobView(j))
+		}
+		writeJSON(w, views)
+		return
+	}
+	httpError(w, http.StatusBadRequest, "need id or user")
+}
+
+// jobView renders a job for JSON transport. Result data is inlined for
+// modest result sets (CasJobs pages larger ones through MyDB instead).
+func jobView(j *Job) map[string]any {
+	v := map[string]any{
+		"id": j.ID, "user": j.User, "context": j.Context,
+		"status": j.Status().String(), "rows": j.RowCount(),
+	}
+	if e := j.Err(); e != "" {
+		v["error"] = e
+	}
+	if rows := j.Rows(); rows != nil && rows.Len() <= 1000 {
+		var data [][]string
+		for _, r := range rows.All() {
+			row := make([]string, len(r))
+			for i, val := range r {
+				row[i] = val.String()
+			}
+			data = append(data, row)
+		}
+		v["columns"] = rows.Columns
+		v["data"] = data
+	}
+	return v
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\": %q}\n", msg)
+}

@@ -1,0 +1,197 @@
+package casjobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sqldb"
+)
+
+func newHTTPServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	cas := sqldb.Open(128)
+	if _, err := cas.Exec("CREATE TABLE galaxy (objid bigint PRIMARY KEY, i real)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := cas.Exec("INSERT INTO galaxy VALUES (?, ?)",
+			sqldb.Int(int64(i)), sqldb.Float(15+float64(i%7))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(map[string]*sqldb.DB{"DR1": cas}, 2)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts, srv
+}
+
+func decode(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPUserAndContexts(t *testing.T) {
+	ts, _ := newHTTPServer(t)
+	resp, err := http.Post(ts.URL+"/users?name=maria", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create user status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Duplicate user fails cleanly.
+	resp, err = http.Post(ts.URL+"/users?name=maria", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate user status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/contexts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contexts []string
+	decode(t, resp, &contexts)
+	if len(contexts) != 1 || contexts[0] != "DR1" {
+		t.Errorf("contexts = %v", contexts)
+	}
+}
+
+func TestHTTPSubmitQuickAndFetch(t *testing.T) {
+	ts, _ := newHTTPServer(t)
+	if resp, err := http.Post(ts.URL+"/users?name=jim", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Post(ts.URL+"/submit?user=jim&context=DR1&quick=1",
+		"text/plain", strings.NewReader("SELECT COUNT(*) FROM galaxy WHERE i < 17"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job map[string]any
+	decode(t, resp, &job)
+	if job["status"] != "finished" {
+		t.Fatalf("quick job = %v", job)
+	}
+	data := job["data"].([]any)
+	if len(data) != 1 {
+		t.Fatalf("result rows = %v", data)
+	}
+
+	// Fetch by id.
+	resp, err = http.Get(fmt.Sprintf("%s/jobs?id=%.0f", ts.URL, job["id"].(float64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetched map[string]any
+	decode(t, resp, &fetched)
+	if fetched["status"] != "finished" {
+		t.Errorf("fetched job = %v", fetched)
+	}
+
+	// List by user.
+	resp, err = http.Get(ts.URL + "/jobs?user=jim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []map[string]any
+	decode(t, resp, &list)
+	if len(list) != 1 {
+		t.Errorf("job list = %v", list)
+	}
+}
+
+func TestHTTPLongJobIntoMyDB(t *testing.T) {
+	ts, srv := newHTTPServer(t)
+	if resp, err := http.Post(ts.URL+"/users?name=ann", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := http.Post(ts.URL+"/submit?user=ann&context=DR1&output=bright",
+		"text/plain", strings.NewReader("SELECT objid, i FROM galaxy WHERE i < 16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job map[string]any
+	decode(t, resp, &job)
+	id := int64(job["id"].(float64))
+
+	// Poll until the long queue finishes it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		j, err := srv.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := j.Status(); st == StatusFinished || st == StatusFailed {
+			if st != StatusFinished {
+				t.Fatalf("long job failed: %s", j.Err())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long job did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mydb, err := srv.MyDB("ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := mydb.Query("SELECT COUNT(*) FROM bright")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if rows.Row()[0].I == 0 {
+		t.Error("output table empty")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	ts, _ := newHTTPServer(t)
+	cases := []struct {
+		method, path string
+		wantStatus   int
+	}{
+		{http.MethodGet, "/users?name=x", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/submit?user=x&context=DR1", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/submit?user=ghost&context=DR1", http.StatusBadRequest},
+		{http.MethodGet, "/jobs?id=notanumber", http.StatusBadRequest},
+		{http.MethodGet, "/jobs?id=424242", http.StatusNotFound},
+		{http.MethodGet, "/jobs", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader("SELECT 1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package condor simulates the Grid substrate the paper's baseline ran on:
+// a Condor-style matchmaking scheduler over a small pool of nodes (the
+// Terabyte Analysis Machine was "a 5-node Condor cluster", dual-600-MHz
+// PIII with 1 GB RAM per node), plus a Chimera-style virtual data catalog
+// (transformations, derivations, provenance) from the GriPhyN project that
+// staged and ran the MaxBCG field jobs.
+//
+// Two execution modes are provided: a discrete-event simulation used to
+// project wall-clock times for hardware we do not have (600 MHz nodes),
+// and a real worker-pool executor used to run field tasks with the same
+// parallelism on the host machine.
+package condor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node describes one machine in the pool. Slots is the number of jobs the
+// node runs concurrently (TAM nodes were dual-CPU: 2 slots).
+type Node struct {
+	Name   string
+	CPUMHz int
+	RAMMB  int
+	Slots  int
+}
+
+// TAMPool returns the paper's cluster: 5 nodes, each a dual-600-MHz PIII
+// with 1 GB of RAM ("the TAM cluster could process ten target fields in
+// parallel").
+func TAMPool() []Node {
+	nodes := make([]Node, 5)
+	for i := range nodes {
+		nodes[i] = Node{Name: fmt.Sprintf("tam%02d", i+1), CPUMHz: 600, RAMMB: 1024, Slots: 2}
+	}
+	return nodes
+}
+
+// Job is one schedulable unit: a MaxBCG field task.
+type Job struct {
+	ID string
+	// RAMMB is the job's memory requirement; matchmaking refuses nodes
+	// with less.
+	RAMMB int
+	// CostSeconds is the job's CPU cost on a reference 600 MHz CPU
+	// (the paper: ~1000 s per 0.25 deg² field).
+	CostSeconds float64
+}
+
+// Assignment records where and when a simulated job ran.
+type Assignment struct {
+	Job        Job
+	Node       string
+	Slot       int
+	Start, End float64 // simulated seconds
+}
+
+// SimResult is the outcome of a discrete-event scheduling simulation.
+type SimResult struct {
+	Assignments []Assignment
+	Makespan    float64 // when the last job finished
+	BusySeconds float64 // total CPU-seconds consumed
+}
+
+// Simulate schedules the jobs FIFO onto the pool: each job goes to the
+// matching slot that frees earliest, and runs for
+// CostSeconds · 600 / CPUMHz simulated seconds. It returns an error if any
+// job matches no node (e.g. its RAM requirement exceeds every node — the
+// paper's reason TAM could not run the fine configuration).
+func Simulate(jobs []Job, nodes []Node) (*SimResult, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("condor: empty pool")
+	}
+	type slot struct {
+		node Node
+		idx  int
+		free float64
+	}
+	var slots []*slot
+	for _, n := range nodes {
+		if n.Slots <= 0 || n.CPUMHz <= 0 {
+			return nil, fmt.Errorf("condor: node %s has no usable slots", n.Name)
+		}
+		for s := 0; s < n.Slots; s++ {
+			slots = append(slots, &slot{node: n, idx: s})
+		}
+	}
+	res := &SimResult{}
+	for _, j := range jobs {
+		var best *slot
+		for _, s := range slots {
+			if j.RAMMB > s.node.RAMMB {
+				continue
+			}
+			if best == nil || s.free < best.free {
+				best = s
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("condor: job %s (%d MB) matches no node in the pool", j.ID, j.RAMMB)
+		}
+		dur := j.CostSeconds * 600 / float64(best.node.CPUMHz)
+		a := Assignment{Job: j, Node: best.node.Name, Slot: best.idx, Start: best.free, End: best.free + dur}
+		best.free = a.End
+		res.BusySeconds += dur
+		if a.End > res.Makespan {
+			res.Makespan = a.End
+		}
+		res.Assignments = append(res.Assignments, a)
+	}
+	sort.Slice(res.Assignments, func(a, b int) bool {
+		if res.Assignments[a].Start != res.Assignments[b].Start {
+			return res.Assignments[a].Start < res.Assignments[b].Start
+		}
+		return res.Assignments[a].Job.ID < res.Assignments[b].Job.ID
+	})
+	return res, nil
+}
+
+// RunParallel executes n real jobs with the given worker count (the pool's
+// total slots), collecting the first error. Jobs run as goroutines on the
+// host; use Simulate for projected 2004-hardware times.
+func RunParallel(n, workers int, fn func(job int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := fn(j); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for j := 0; j < n; j++ {
+		select {
+		case err := <-errs:
+			close(jobs)
+			wg.Wait()
+			return err
+		case jobs <- j:
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// TotalSlots sums the pool's concurrent capacity.
+func TotalSlots(nodes []Node) int {
+	n := 0
+	for _, node := range nodes {
+		n += node.Slots
+	}
+	return n
+}

@@ -1,0 +1,198 @@
+package condor
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTAMPool(t *testing.T) {
+	pool := TAMPool()
+	if len(pool) != 5 {
+		t.Fatalf("TAM has %d nodes, want 5", len(pool))
+	}
+	if TotalSlots(pool) != 10 {
+		t.Errorf("TAM slots = %d, want 10 (paper: ten fields in parallel)", TotalSlots(pool))
+	}
+	for _, n := range pool {
+		if n.CPUMHz != 600 || n.RAMMB != 1024 {
+			t.Errorf("node %s config %v not dual-600MHz/1GB", n.Name, n)
+		}
+	}
+}
+
+func TestSimulateLinearScaling(t *testing.T) {
+	// Paper §2.2: "the time scales lineally with the number of target
+	// areas being processed" and a 0.25 deg² field takes ~1000 s.
+	mkJobs := func(n int) []Job {
+		jobs := make([]Job, n)
+		for i := range jobs {
+			jobs[i] = Job{ID: fmt.Sprintf("field-%d", i), RAMMB: 256, CostSeconds: 1000}
+		}
+		return jobs
+	}
+	pool := TAMPool()
+	r10, err := Simulate(mkJobs(10), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.Makespan != 1000 {
+		t.Errorf("10 jobs on 10 slots: makespan %g, want 1000", r10.Makespan)
+	}
+	r100, err := Simulate(mkJobs(100), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r100.Makespan != 10000 {
+		t.Errorf("100 jobs: makespan %g, want 10000 (linear scaling)", r100.Makespan)
+	}
+	if r100.BusySeconds != 100000 {
+		t.Errorf("busy seconds %g, want 100000", r100.BusySeconds)
+	}
+}
+
+func TestSimulateCPUSpeedScaling(t *testing.T) {
+	jobs := []Job{{ID: "f", RAMMB: 1, CostSeconds: 1000}}
+	fast := []Node{{Name: "xeon", CPUMHz: 2600, RAMMB: 2048, Slots: 1}}
+	r, err := Simulate(jobs, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * 600.0 / 2600.0
+	if math.Abs(r.Makespan-want) > 1e-9 {
+		t.Errorf("2.6 GHz makespan %g, want %g", r.Makespan, want)
+	}
+}
+
+func TestSimulateMatchmakingRAM(t *testing.T) {
+	jobs := []Job{{ID: "big", RAMMB: 4096, CostSeconds: 10}}
+	if _, err := Simulate(jobs, TAMPool()); err == nil {
+		t.Error("job larger than every node was scheduled")
+	}
+	mixed := []Node{
+		{Name: "small", CPUMHz: 600, RAMMB: 512, Slots: 1},
+		{Name: "large", CPUMHz: 600, RAMMB: 8192, Slots: 1},
+	}
+	r, err := Simulate(jobs, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Assignments[0].Node != "large" {
+		t.Errorf("job matched %s, want large", r.Assignments[0].Node)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := Simulate(nil, []Node{{Name: "x", Slots: 0, CPUMHz: 600}}); err == nil {
+		t.Error("zero-slot node accepted")
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	var count int64
+	if err := RunParallel(100, 8, func(int) error {
+		atomic.AddInt64(&count, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d jobs, want 100", count)
+	}
+	// Error propagation.
+	err := RunParallel(50, 4, func(j int) error {
+		if j == 17 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Errorf("error not propagated: %v", err)
+	}
+}
+
+func TestVDCMaterializeAndProvenance(t *testing.T) {
+	vdc := NewVDC()
+	var order []string
+	exec := func(args map[string]string, inputs []string, output string) error {
+		order = append(order, output)
+		return nil
+	}
+	if err := vdc.AddTransformation(Transformation{Name: "extract", Exec: exec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vdc.AddTransformation(Transformation{Name: "maxbcg", Exec: exec}); err != nil {
+		t.Fatal(err)
+	}
+	vdc.AddExisting("das://raw-tile-42")
+	if err := vdc.AddDerivation(Derivation{
+		Output: "field-0-buffer", Transformation: "extract",
+		Args: map[string]string{"buffer": "0.25"}, Inputs: []string{"das://raw-tile-42"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vdc.AddDerivation(Derivation{
+		Output: "field-0-clusters", Transformation: "maxbcg",
+		Inputs: []string{"field-0-buffer"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := vdc.Materialize("field-0-clusters"); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "field-0-buffer" || order[1] != "field-0-clusters" {
+		t.Fatalf("materialisation order %v", order)
+	}
+	// Re-materialising is a no-op.
+	if err := vdc.Materialize("field-0-clusters"); err != nil {
+		t.Fatal(err)
+	}
+	if len(vdc.Invocations()) != 2 {
+		t.Errorf("re-materialisation re-ran transformations: %d invocations", len(vdc.Invocations()))
+	}
+	chain, err := vdc.Provenance("field-0-clusters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0].Output != "field-0-buffer" {
+		t.Errorf("provenance chain %v", chain)
+	}
+	if vdc.Describe() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestVDCErrors(t *testing.T) {
+	vdc := NewVDC()
+	if err := vdc.AddTransformation(Transformation{}); err == nil {
+		t.Error("empty transformation accepted")
+	}
+	if err := vdc.AddDerivation(Derivation{Output: "x", Transformation: "nope"}); err == nil {
+		t.Error("derivation with unknown transformation accepted")
+	}
+	if err := vdc.Materialize("unknown"); err == nil {
+		t.Error("materialising an underivable file succeeded")
+	}
+	// Cycle detection.
+	ok := func(map[string]string, []string, string) error { return nil }
+	vdc.AddTransformation(Transformation{Name: "t", Exec: ok})
+	vdc.AddDerivation(Derivation{Output: "a", Transformation: "t", Inputs: []string{"b"}})
+	vdc.AddDerivation(Derivation{Output: "b", Transformation: "t", Inputs: []string{"a"}})
+	if err := vdc.Materialize("a"); err == nil {
+		t.Error("derivation cycle not detected")
+	}
+	if _, err := vdc.Provenance("a"); err == nil {
+		t.Error("provenance of unmaterialised file succeeded")
+	}
+	// Duplicate registrations.
+	if err := vdc.AddTransformation(Transformation{Name: "t", Exec: ok}); err == nil {
+		t.Error("duplicate transformation accepted")
+	}
+	if err := vdc.AddDerivation(Derivation{Output: "a", Transformation: "t"}); err == nil {
+		t.Error("duplicate derivation accepted")
+	}
+}

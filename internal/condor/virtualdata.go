@@ -1,0 +1,195 @@
+package condor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Chimera-style virtual data system (GriPhyN): logical files are defined by
+// derivations — applications of registered transformations to input
+// logical files — and materialised on demand, recording provenance. The
+// paper's baseline ("Applying Chimera Virtual Data Concepts to Cluster
+// Finding in the Sloan Sky Survey") staged field files and cluster catalogs
+// through exactly this machinery.
+
+// Transformation is a named executable with a Go body.
+type Transformation struct {
+	Name string
+	// Exec materialises output from inputs. Args carry the derivation's
+	// actual parameters.
+	Exec func(args map[string]string, inputs []string, output string) error
+}
+
+// Derivation declares how one logical file is produced.
+type Derivation struct {
+	Output         string
+	Transformation string
+	Args           map[string]string
+	Inputs         []string
+}
+
+// Invocation is one provenance record: a derivation that actually ran.
+type Invocation struct {
+	Output         string
+	Transformation string
+	Inputs         []string
+}
+
+// VDC is a virtual data catalog.
+type VDC struct {
+	mu              sync.Mutex
+	transformations map[string]Transformation
+	derivations     map[string]Derivation
+	materialized    map[string]bool
+	invocations     []Invocation
+}
+
+// NewVDC returns an empty catalog.
+func NewVDC() *VDC {
+	return &VDC{
+		transformations: make(map[string]Transformation),
+		derivations:     make(map[string]Derivation),
+		materialized:    make(map[string]bool),
+	}
+}
+
+// AddTransformation registers an executable.
+func (c *VDC) AddTransformation(t Transformation) error {
+	if t.Name == "" || t.Exec == nil {
+		return fmt.Errorf("condor: transformation needs a name and a body")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.transformations[t.Name]; dup {
+		return fmt.Errorf("condor: duplicate transformation %q", t.Name)
+	}
+	c.transformations[t.Name] = t
+	return nil
+}
+
+// AddDerivation declares how a logical file is produced. Its
+// transformation must already be registered.
+func (c *VDC) AddDerivation(d Derivation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.transformations[d.Transformation]; !ok {
+		return fmt.Errorf("condor: derivation %q uses unknown transformation %q", d.Output, d.Transformation)
+	}
+	if _, dup := c.derivations[d.Output]; dup {
+		return fmt.Errorf("condor: duplicate derivation for %q", d.Output)
+	}
+	c.derivations[d.Output] = d
+	return nil
+}
+
+// AddExisting marks a logical file as already materialised (raw archive
+// data, e.g. the DAS files).
+func (c *VDC) AddExisting(lfn string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.materialized[lfn] = true
+}
+
+// Materialize produces the logical file, recursively materialising its
+// inputs first, and records provenance. Re-materialising is a no-op
+// (virtual data: never compute twice).
+func (c *VDC) Materialize(lfn string) error {
+	return c.materialize(lfn, make(map[string]bool))
+}
+
+func (c *VDC) materialize(lfn string, inProgress map[string]bool) error {
+	c.mu.Lock()
+	if c.materialized[lfn] {
+		c.mu.Unlock()
+		return nil
+	}
+	if inProgress[lfn] {
+		c.mu.Unlock()
+		return fmt.Errorf("condor: derivation cycle through %q", lfn)
+	}
+	d, ok := c.derivations[lfn]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("condor: no derivation or existing data for %q", lfn)
+	}
+	t := c.transformations[d.Transformation]
+	c.mu.Unlock()
+
+	inProgress[lfn] = true
+	for _, in := range d.Inputs {
+		if err := c.materialize(in, inProgress); err != nil {
+			return fmt.Errorf("condor: materialising input of %q: %w", lfn, err)
+		}
+	}
+	delete(inProgress, lfn)
+
+	if err := t.Exec(d.Args, d.Inputs, d.Output); err != nil {
+		return fmt.Errorf("condor: transformation %q for %q: %w", d.Transformation, lfn, err)
+	}
+	c.mu.Lock()
+	c.materialized[lfn] = true
+	c.invocations = append(c.invocations, Invocation{
+		Output: lfn, Transformation: d.Transformation, Inputs: d.Inputs,
+	})
+	c.mu.Unlock()
+	return nil
+}
+
+// Provenance returns the chain of invocations that produced lfn, deepest
+// first.
+func (c *VDC) Provenance(lfn string) ([]Invocation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.materialized[lfn] {
+		return nil, fmt.Errorf("condor: %q has not been materialised", lfn)
+	}
+	byOutput := make(map[string]Invocation, len(c.invocations))
+	for _, inv := range c.invocations {
+		byOutput[inv.Output] = inv
+	}
+	var chain []Invocation
+	seen := make(map[string]bool)
+	var walk func(string)
+	walk = func(out string) {
+		inv, ok := byOutput[out]
+		if !ok || seen[out] {
+			return
+		}
+		seen[out] = true
+		for _, in := range inv.Inputs {
+			walk(in)
+		}
+		chain = append(chain, inv)
+	}
+	walk(lfn)
+	return chain, nil
+}
+
+// Invocations returns every recorded invocation in execution order.
+func (c *VDC) Invocations() []Invocation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Invocation(nil), c.invocations...)
+}
+
+// Describe lists the catalog contents; useful for the grid example's
+// output.
+func (c *VDC) Describe() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var names []string
+	for n := range c.derivations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d transformations, %d derivations, %d materialised\n",
+		len(c.transformations), len(c.derivations), len(c.materialized))
+	for _, n := range names {
+		d := c.derivations[n]
+		fmt.Fprintf(&sb, "  %s <- %s(%v)\n", n, d.Transformation, d.Inputs)
+	}
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/maxbcg"
+	"repro/internal/sky"
+)
+
+func testCatalog(t testing.TB, seed int64) *sky.Catalog {
+	t.Helper()
+	cat, err := sky.Generate(sky.GenConfig{
+		Region: astro.MustBox(193.9, 196.4, 1.2, 3.8),
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// twoSiteFederation splits the survey between "JHU" (south) and
+// "Fermilab" (north) at dec = 2.5.
+func twoSiteFederation(t *testing.T, cat *sky.Catalog) *Federation {
+	t.Helper()
+	south, err := NewSite("JHU", cat, astro.MustBox(193.9, 196.4, 1.2, 2.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	north, err := NewSite("Fermilab", cat, astro.MustBox(193.9, 196.4, 2.5, 3.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := NewFederation(north, south)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func TestSitePartitioning(t *testing.T) {
+	cat := testCatalog(t, 1)
+	fed := twoSiteFederation(t, cat)
+	total := 0
+	for _, s := range fed.Sites() {
+		total += s.Holdings()
+	}
+	if total != cat.Len() {
+		t.Errorf("sites hold %d rows, catalog has %d", total, cat.Len())
+	}
+	if fed.Sites()[0].Name != "JHU" {
+		t.Errorf("sites not ordered by declination: %s first", fed.Sites()[0].Name)
+	}
+}
+
+func TestFederationValidation(t *testing.T) {
+	cat := testCatalog(t, 2)
+	if _, err := NewFederation(); err == nil {
+		t.Error("empty federation accepted")
+	}
+	a, _ := NewSite("A", cat, astro.MustBox(193.9, 196.4, 1.2, 2.6))
+	b, _ := NewSite("B", cat, astro.MustBox(193.9, 196.4, 2.4, 3.8))
+	if _, err := NewFederation(a, b); err == nil {
+		t.Error("overlapping sites accepted")
+	}
+	if _, err := NewSite("", cat, cat.Region); err == nil {
+		t.Error("unnamed site accepted")
+	}
+}
+
+func TestFederatedRunMatchesCentralised(t *testing.T) {
+	// The paper's federated MaxBCG must give the same catalog as running
+	// centrally over the whole survey, even with the target straddling
+	// the site boundary.
+	cat := testCatalog(t, 3)
+	fed := twoSiteFederation(t, cat)
+	// Tall enough that per-field file shipping outweighs the one-off
+	// boundary exchange; straddles the site boundary at dec 2.5.
+	target := astro.MustBox(194.9, 195.4, 1.7, 3.3)
+
+	app := DefaultApp(cat.Kcorr)
+	merged, runs, stats, err := fed.RunMaxBCG(target, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("expected both sites to run, got %d", len(runs))
+	}
+
+	finder, err := maxbcg.NewFinder(cat, maxbcg.DefaultParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	central, err := finder.Run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(merged.Clusters) != len(central.Clusters) {
+		t.Fatalf("clusters: federated %d vs central %d", len(merged.Clusters), len(central.Clusters))
+	}
+	for i := range merged.Clusters {
+		a, b := merged.Clusters[i], central.Clusters[i]
+		if a.ObjID != b.ObjID || a.NGal != b.NGal || math.Abs(a.Chi2-b.Chi2) > 1e-12 {
+			t.Fatalf("cluster %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	if len(merged.Members) != len(central.Members) {
+		t.Fatalf("members: federated %d vs central %d", len(merged.Members), len(central.Members))
+	}
+
+	// Boundary strips moved, but far less than shipping the data.
+	if stats.BoundaryBytes == 0 {
+		t.Error("no boundary exchange for a boundary-straddling target")
+	}
+	if stats.Moved() >= stats.DataShippingBytes {
+		t.Errorf("code-to-data moved %d bytes, data shipping %d: the paper's argument should hold",
+			stats.Moved(), stats.DataShippingBytes)
+	}
+	t.Logf("moved %d bytes (code %d, boundary %d, results %d) vs data shipping %d",
+		stats.Moved(), stats.CodeBytes, stats.BoundaryBytes, stats.ResultBytes, stats.DataShippingBytes)
+}
+
+func TestFederatedRunSingleSiteTarget(t *testing.T) {
+	// A target fully inside one site (minus buffers) runs on that site
+	// only.
+	cat := testCatalog(t, 5)
+	fed := twoSiteFederation(t, cat)
+	target := astro.MustBox(194.9, 195.4, 2.9, 3.4) // well inside Fermilab
+
+	merged, runs, _, err := fed.RunMaxBCG(target, DefaultApp(cat.Kcorr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Site != "Fermilab" {
+		t.Fatalf("runs = %+v, want Fermilab only", runs)
+	}
+	if len(merged.Clusters) == 0 {
+		t.Error("no clusters from a dense region")
+	}
+}

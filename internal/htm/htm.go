@@ -1,0 +1,273 @@
+// Package htm implements a Hierarchical Triangular Mesh spatial index
+// (Kunszt, Szalay et al., "The Indexing of the SDSS Science Archive" —
+// reference [12] of the paper). The paper tried both HTM and zone indexing
+// for the MaxBCG neighbourhood searches and chose zones ("the Zone index
+// was chosen to perform the neighbor counts because it offered better
+// performance"); this package exists so the reproduction can run that same
+// comparison as an ablation benchmark.
+//
+// The sphere is recursively divided into spherical triangles (trixels)
+// starting from the eight faces of an octahedron. A trixel's ID encodes its
+// path from the root: id = parent*4 + child, with roots numbered 8..15, so
+// all trixels at level L have 4 + 2L significant bits and leaf IDs at a
+// fixed level form a contiguous space that can be range-scanned — exactly
+// how the SDSS science archive used HTM with a B-tree.
+package htm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/astro"
+	"repro/internal/sky"
+)
+
+// DefaultLevel subdivides to trixels of roughly 0.04 degrees, a good match
+// for MaxBCG's 0.1-0.5 degree search radii.
+const DefaultLevel = 11
+
+type triangle struct{ a, b, c astro.Vec3 }
+
+var roots [8]triangle
+
+func init() {
+	v0 := astro.Vec3{X: 0, Y: 0, Z: 1}
+	v1 := astro.Vec3{X: 1, Y: 0, Z: 0}
+	v2 := astro.Vec3{X: 0, Y: 1, Z: 0}
+	v3 := astro.Vec3{X: -1, Y: 0, Z: 0}
+	v4 := astro.Vec3{X: 0, Y: -1, Z: 0}
+	v5 := astro.Vec3{X: 0, Y: 0, Z: -1}
+	// Canonical S0-S3 (ids 8-11) and N0-N3 (ids 12-15) root trixels.
+	roots = [8]triangle{
+		{v1, v5, v2}, // S0
+		{v2, v5, v3}, // S1
+		{v3, v5, v4}, // S2
+		{v4, v5, v1}, // S3
+		{v1, v0, v4}, // N0
+		{v4, v0, v3}, // N1
+		{v3, v0, v2}, // N2
+		{v2, v0, v1}, // N3
+	}
+}
+
+func cross(a, b astro.Vec3) astro.Vec3 {
+	return astro.Vec3{
+		X: a.Y*b.Z - a.Z*b.Y,
+		Y: a.Z*b.X - a.X*b.Z,
+		Z: a.X*b.Y - a.Y*b.X,
+	}
+}
+
+func midpoint(a, b astro.Vec3) astro.Vec3 {
+	m := astro.Vec3{X: a.X + b.X, Y: a.Y + b.Y, Z: a.Z + b.Z}
+	n := math.Sqrt(m.Dot(m))
+	return astro.Vec3{X: m.X / n, Y: m.Y / n, Z: m.Z / n}
+}
+
+// contains tests whether p lies in the spherical triangle (counterclockwise
+// vertex order). The small tolerance keeps points on shared edges inside at
+// least one sibling.
+func (t triangle) contains(p astro.Vec3) bool {
+	const eps = -1e-12
+	return cross(t.a, t.b).Dot(p) >= eps &&
+		cross(t.b, t.c).Dot(p) >= eps &&
+		cross(t.c, t.a).Dot(p) >= eps
+}
+
+// children returns the four sub-trixels in child-index order.
+func (t triangle) children() [4]triangle {
+	w0 := midpoint(t.b, t.c)
+	w1 := midpoint(t.a, t.c)
+	w2 := midpoint(t.a, t.b)
+	return [4]triangle{
+		{t.a, w2, w1},
+		{t.b, w0, w2},
+		{t.c, w1, w0},
+		{w0, w1, w2},
+	}
+}
+
+// ID returns the trixel id of the unit vector at the given subdivision
+// level (0 returns the root id in 8..15).
+func ID(v astro.Vec3, level int) uint64 {
+	ri := 0
+	for i := range roots {
+		if roots[i].contains(v) {
+			ri = i
+			break
+		}
+	}
+	id := uint64(8 + ri)
+	tri := roots[ri]
+	for l := 0; l < level; l++ {
+		ch := tri.children()
+		found := false
+		for ci := 0; ci < 4; ci++ {
+			if ch[ci].contains(v) {
+				id = id*4 + uint64(ci)
+				tri = ch[ci]
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Numerical edge case: snap to the middle child, which
+			// shares edges with all siblings.
+			id = id*4 + 3
+			tri = ch[3]
+		}
+	}
+	return id
+}
+
+// IDFromRaDec is ID on equatorial coordinates in degrees.
+func IDFromRaDec(raDeg, decDeg float64, level int) uint64 {
+	return ID(astro.UnitVector(raDeg, decDeg), level)
+}
+
+// Range is a half-open interval of leaf trixel ids [Lo, Hi).
+type Range struct{ Lo, Hi uint64 }
+
+// Cover returns ranges of level-`level` trixel ids that together contain
+// every point within rDeg of the centre. The cover is conservative (it may
+// include trixels that only approach the cap); callers re-check distances.
+func Cover(raDeg, decDeg, rDeg float64, level int) []Range {
+	center := astro.UnitVector(raDeg, decDeg)
+	var out []Range
+	for ri := range roots {
+		coverRec(roots[ri], uint64(8+ri), 0, level, center, rDeg, &out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	// Merge adjacent/overlapping ranges.
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && r.Lo <= merged[n-1].Hi {
+			if r.Hi > merged[n-1].Hi {
+				merged[n-1].Hi = r.Hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+func coverRec(tri triangle, id uint64, level, maxLevel int, center astro.Vec3, rDeg float64, out *[]Range) {
+	// Bounding-circle test: reject when the cap cannot reach the trixel.
+	centroid := midpoint(midpoint(tri.a, tri.b), tri.c)
+	circum := 0.0
+	for _, v := range []astro.Vec3{tri.a, tri.b, tri.c} {
+		if d := astro.AngleFromChord(math.Sqrt(centroid.Chord2(v))); d > circum {
+			circum = d
+		}
+	}
+	dist := astro.AngleFromChord(math.Sqrt(centroid.Chord2(center)))
+	if dist > rDeg+circum {
+		return
+	}
+	remaining := maxLevel - level
+	// Fully inside the cap (caps with r < 90 are convex, so corners
+	// inside imply the whole trixel is inside): emit the leaf range.
+	inside := true
+	for _, v := range []astro.Vec3{tri.a, tri.b, tri.c} {
+		if astro.AngleFromChord(math.Sqrt(center.Chord2(v))) > rDeg {
+			inside = false
+			break
+		}
+	}
+	if inside || remaining == 0 {
+		lo := id << (2 * remaining)
+		hi := (id + 1) << (2 * remaining)
+		*out = append(*out, Range{Lo: lo, Hi: hi})
+		return
+	}
+	ch := tri.children()
+	for ci := 0; ci < 4; ci++ {
+		coverRec(ch[ci], id*4+uint64(ci), level+1, maxLevel, center, rDeg, out)
+	}
+}
+
+// Entry is one indexed object.
+type Entry struct {
+	ObjID   int64
+	Ra, Dec float64
+	Vec     astro.Vec3
+	id      uint64
+}
+
+// Index is an HTM-sorted galaxy index at a fixed leaf level.
+type Index struct {
+	level   int
+	entries []Entry // sorted by id
+}
+
+// Build constructs an index at the given subdivision level (DefaultLevel if
+// 0; valid levels are 1..20).
+func Build(gals []sky.Galaxy, level int) (*Index, error) {
+	if level == 0 {
+		level = DefaultLevel
+	}
+	if level < 1 || level > 20 {
+		return nil, fmt.Errorf("htm: level %d outside [1, 20]", level)
+	}
+	idx := &Index{level: level, entries: make([]Entry, len(gals))}
+	for i := range gals {
+		g := &gals[i]
+		v := astro.UnitVector(g.Ra, g.Dec)
+		idx.entries[i] = Entry{ObjID: g.ObjID, Ra: g.Ra, Dec: g.Dec, Vec: v, id: ID(v, level)}
+	}
+	sort.Slice(idx.entries, func(a, b int) bool {
+		if idx.entries[a].id != idx.entries[b].id {
+			return idx.entries[a].id < idx.entries[b].id
+		}
+		return idx.entries[a].ObjID < idx.entries[b].ObjID
+	})
+	return idx, nil
+}
+
+// Level returns the index's subdivision level.
+func (x *Index) Level() int { return x.level }
+
+// Len returns the number of indexed entries.
+func (x *Index) Len() int { return len(x.entries) }
+
+// Visit calls fn with every object within rDeg of the centre and its
+// chord-approximated distance in degrees.
+func (x *Index) Visit(raDeg, decDeg, rDeg float64, fn func(Entry, float64)) {
+	if rDeg < 0 || len(x.entries) == 0 {
+		return
+	}
+	center := astro.UnitVector(raDeg, decDeg)
+	r2 := astro.Chord2FromAngle(rDeg)
+	for _, rg := range Cover(raDeg, decDeg, rDeg, x.level) {
+		lo := sort.Search(len(x.entries), func(i int) bool { return x.entries[i].id >= rg.Lo })
+		for i := lo; i < len(x.entries) && x.entries[i].id < rg.Hi; i++ {
+			c2 := center.Chord2(x.entries[i].Vec)
+			if c2 < r2 {
+				fn(x.entries[i], math.Sqrt(c2)/astro.Deg2Rad)
+			}
+		}
+	}
+}
+
+// Neighbors returns matches sorted by (distance, objID).
+func (x *Index) Neighbors(raDeg, decDeg, rDeg float64) []Entry {
+	type hit struct {
+		e Entry
+		d float64
+	}
+	var hits []hit
+	x.Visit(raDeg, decDeg, rDeg, func(e Entry, d float64) { hits = append(hits, hit{e, d}) })
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].d != hits[b].d {
+			return hits[a].d < hits[b].d
+		}
+		return hits[a].e.ObjID < hits[b].e.ObjID
+	})
+	out := make([]Entry, len(hits))
+	for i, h := range hits {
+		out[i] = h.e
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package htm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/sky"
+	"repro/internal/zone"
+)
+
+func testGalaxies(t testing.TB, seed int64, n int) []sky.Galaxy {
+	t.Helper()
+	cat, err := sky.Generate(sky.GenConfig{
+		Region:        astro.MustBox(180, 181, -0.5, 0.5),
+		Seed:          seed,
+		GalaxyDensity: float64(n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat.Galaxies
+}
+
+func TestIDRootsPartitionSphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*180 - 90
+		id := IDFromRaDec(ra, dec, 0)
+		if id < 8 || id > 15 {
+			t.Fatalf("root id %d for (%g, %g)", id, ra, dec)
+		}
+	}
+}
+
+func TestIDLevelStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*170 - 85
+		v := astro.UnitVector(ra, dec)
+		// The id at level L is the prefix of the id at level L+1.
+		for level := 0; level < 8; level++ {
+			a := ID(v, level)
+			b := ID(v, level+1)
+			if b/4 != a {
+				t.Fatalf("level %d id %d is not the parent of level %d id %d", level, a, level+1, b)
+			}
+		}
+	}
+}
+
+func TestIDDistinguishesSeparatedPoints(t *testing.T) {
+	// Points more than a trixel apart must have different leaf ids.
+	a := IDFromRaDec(180, 0, DefaultLevel)
+	b := IDFromRaDec(182, 0, DefaultLevel)
+	if a == b {
+		t.Error("2-degree separated points share a level-11 trixel")
+	}
+}
+
+func TestCoverContainsCap(t *testing.T) {
+	// Every point within r must fall in a covered range.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 120; trial++ {
+		ra := rng.Float64() * 360
+		dec := rng.Float64()*160 - 80
+		r := 0.02 + rng.Float64()*0.5
+		ranges := Cover(ra, dec, r, DefaultLevel)
+		if len(ranges) == 0 {
+			t.Fatalf("empty cover for r=%g", r)
+		}
+		for q := 0; q < 30; q++ {
+			theta := rng.Float64() * 2 * 3.141592653589793
+			rr := r * rng.Float64()
+			qdec := dec + rr*sin(theta)
+			qra := ra + rr*cos(theta)/cosDeg(qdec)
+			if astro.Distance(ra, dec, qra, qdec) > r {
+				continue
+			}
+			id := IDFromRaDec(qra, qdec, DefaultLevel)
+			found := false
+			for _, rg := range ranges {
+				if id >= rg.Lo && id < rg.Hi {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("point (%g, %g) within %g of (%g, %g) not covered", qra, qdec, r, ra, dec)
+			}
+		}
+	}
+}
+
+func TestCoverRangesSortedAndMerged(t *testing.T) {
+	ranges := Cover(195, 2.5, 0.4, DefaultLevel)
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Lo <= ranges[i-1].Hi {
+			t.Fatalf("ranges %d and %d not disjoint/sorted", i-1, i)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 99); err == nil {
+		t.Error("level 99 accepted")
+	}
+	idx, err := Build(nil, 0)
+	if err != nil || idx.Level() != DefaultLevel {
+		t.Errorf("default level build: %v, level %d", err, idx.Level())
+	}
+}
+
+func TestNeighborsMatchBruteForce(t *testing.T) {
+	gals := testGalaxies(t, 5, 4000)
+	idx, err := Build(gals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		ra := 180 + rng.Float64()
+		dec := rng.Float64() - 0.5
+		r := rng.Float64() * 0.4
+		got := idx.Neighbors(ra, dec, r)
+		want := zone.BruteForce(gals, ra, dec, r)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (r=%g): HTM found %d, brute force %d", trial, r, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ObjID != want[i].Entry.ObjID {
+				t.Fatalf("trial %d: result %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestHTMAgreesWithZone(t *testing.T) {
+	// The two spatial indexes the paper compared must return identical
+	// result sets.
+	gals := testGalaxies(t, 11, 5000)
+	hidx, err := Build(gals, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zidx, err := zone.Build(gals, astro.ZoneHeightDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		ra := 180 + rng.Float64()
+		dec := rng.Float64() - 0.5
+		r := rng.Float64() * 0.35
+		h := hidx.Neighbors(ra, dec, r)
+		z := zidx.Neighbors(ra, dec, r)
+		if len(h) != len(z) {
+			t.Fatalf("trial %d: HTM %d vs zone %d", trial, len(h), len(z))
+		}
+		for i := range h {
+			if h[i].ObjID != z[i].Entry.ObjID {
+				t.Fatalf("trial %d: order/content differs at %d", trial, i)
+			}
+		}
+	}
+}
+
+func sin(x float64) float64    { return math.Sin(x) }
+func cos(x float64) float64    { return math.Cos(x) }
+func cosDeg(d float64) float64 { return math.Cos(d * astro.Deg2Rad) }

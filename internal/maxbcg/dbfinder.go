@@ -1,0 +1,599 @@
+package maxbcg
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/astro"
+	"repro/internal/perfmodel"
+	"repro/internal/sky"
+	"repro/internal/sqldb"
+	"repro/internal/zone"
+)
+
+// DBFinder is the paper's SQL Server implementation: the catalog lives in
+// sqldb tables, spZone builds the zone-clustered index, and the sp* tasks
+// run against buffer-pool-backed storage so the harness can report the
+// elapsed / CPU / I/O rows of Table 1 per task.
+type DBFinder struct {
+	Params     Params
+	Kcorr      *sky.Kcorr
+	ZoneHeight float64
+	DB         *sqldb.DB
+
+	galaxyT  *sqldb.Table
+	kcorrT   *sqldb.Table
+	zoneT    *sqldb.Table
+	candT    *sqldb.Table
+	candZT   *sqldb.Table
+	clusterT *sqldb.Table
+	memberT  *sqldb.Table
+}
+
+// GalaxyColumns is the paper's Galaxy schema.
+func GalaxyColumns() []sqldb.Column {
+	return []sqldb.Column{
+		{Name: "objid", Type: sqldb.TInt},
+		{Name: "ra", Type: sqldb.TFloat},
+		{Name: "dec", Type: sqldb.TFloat},
+		{Name: "i", Type: sqldb.TFloat},
+		{Name: "gr", Type: sqldb.TFloat},
+		{Name: "ri", Type: sqldb.TFloat},
+		{Name: "sigmagr", Type: sqldb.TFloat},
+		{Name: "sigmari", Type: sqldb.TFloat},
+	}
+}
+
+func candidateColumns() []sqldb.Column {
+	return []sqldb.Column{
+		{Name: "objid", Type: sqldb.TInt},
+		{Name: "ra", Type: sqldb.TFloat},
+		{Name: "dec", Type: sqldb.TFloat},
+		{Name: "z", Type: sqldb.TFloat},
+		{Name: "i", Type: sqldb.TFloat},
+		{Name: "ngal", Type: sqldb.TInt},
+		{Name: "chi2", Type: sqldb.TFloat},
+	}
+}
+
+// NewDBFinder creates the schema (Galaxy, Kcorr, Candidates, Clusters,
+// ClusterGalaxiesMetric) in db and loads the k-correction table, mirroring
+// the paper's MyDB setup script.
+func NewDBFinder(db *sqldb.DB, p Params, kcorr *sky.Kcorr, zoneHeightDeg float64) (*DBFinder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if kcorr == nil {
+		return nil, fmt.Errorf("maxbcg: nil k-correction table")
+	}
+	if zoneHeightDeg == 0 {
+		zoneHeightDeg = astro.ZoneHeightDeg
+	}
+	f := &DBFinder{Params: p, Kcorr: kcorr, ZoneHeight: zoneHeightDeg, DB: db}
+
+	var err error
+	if f.galaxyT, err = db.CreateTable("Galaxy", GalaxyColumns(), "objid"); err != nil {
+		return nil, err
+	}
+	kcols := []sqldb.Column{
+		{Name: "zid", Type: sqldb.TInt, Identity: true},
+		{Name: "z", Type: sqldb.TFloat},
+		{Name: "i", Type: sqldb.TFloat},
+		{Name: "ilim", Type: sqldb.TFloat},
+		{Name: "ug", Type: sqldb.TFloat},
+		{Name: "gr", Type: sqldb.TFloat},
+		{Name: "ri", Type: sqldb.TFloat},
+		{Name: "iz", Type: sqldb.TFloat},
+		{Name: "radius", Type: sqldb.TFloat},
+	}
+	if f.kcorrT, err = db.CreateTable("Kcorr", kcols, "zid"); err != nil {
+		return nil, err
+	}
+	for _, r := range kcorr.Rows {
+		row := []sqldb.Value{
+			sqldb.Int(int64(r.Zid)), sqldb.Float(r.Z), sqldb.Float(r.I), sqldb.Float(r.Ilim),
+			sqldb.Float(r.Ug), sqldb.Float(r.Gr), sqldb.Float(r.Ri), sqldb.Float(r.Iz),
+			sqldb.Float(r.Radius),
+		}
+		if err := f.kcorrT.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	if f.candT, err = db.CreateTable("Candidates", candidateColumns(), "objid"); err != nil {
+		return nil, err
+	}
+	if f.clusterT, err = db.CreateTable("Clusters", candidateColumns(), "objid"); err != nil {
+		return nil, err
+	}
+	mcols := []sqldb.Column{
+		{Name: "clusterObjID", Type: sqldb.TInt},
+		{Name: "galaxyObjID", Type: sqldb.TInt},
+		{Name: "distance", Type: sqldb.TFloat},
+	}
+	if f.memberT, err = db.CreateTable("ClusterGalaxiesMetric", mcols, ""); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ImportGalaxies loads the catalog's galaxies inside region into the Galaxy
+// table (the paper's spImportGalaxy) and returns the row count.
+func (f *DBFinder) ImportGalaxies(cat *sky.Catalog, region astro.Box) (int64, error) {
+	if err := f.galaxyT.Truncate(); err != nil {
+		return 0, err
+	}
+	var n int64
+	for i := range cat.Galaxies {
+		g := &cat.Galaxies[i]
+		if !region.Contains(g.Ra, g.Dec) {
+			continue
+		}
+		row := []sqldb.Value{
+			sqldb.Int(g.ObjID), sqldb.Float(g.Ra), sqldb.Float(g.Dec),
+			sqldb.Float(g.I), sqldb.Float(g.Gr), sqldb.Float(g.Ri),
+			sqldb.Float(g.SigmaGr), sqldb.Float(g.SigmaRi),
+		}
+		if err := f.galaxyT.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// readGalaxies scans the Galaxy table back into memory (counted I/O).
+func (f *DBFinder) readGalaxies() ([]sky.Galaxy, error) {
+	cur, err := f.galaxyT.Scan()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []sky.Galaxy
+	for cur.Next() {
+		row := cur.Row()
+		var g sky.Galaxy
+		g.ObjID, _ = row[0].AsInt()
+		g.Ra, _ = row[1].AsFloat()
+		g.Dec, _ = row[2].AsFloat()
+		g.I, _ = row[3].AsFloat()
+		g.Gr, _ = row[4].AsFloat()
+		g.Ri, _ = row[5].AsFloat()
+		g.SigmaGr, _ = row[6].AsFloat()
+		g.SigmaRi, _ = row[7].AsFloat()
+		out = append(out, g)
+	}
+	return out, cur.Err()
+}
+
+// SpZone builds the zone table from the Galaxy table: assigns zone ids and
+// clusters the storage on (zoneid, ra). This is the paper's spZone task.
+func (f *DBFinder) SpZone() error {
+	gals, err := f.readGalaxies()
+	if err != nil {
+		return err
+	}
+	f.zoneT, err = zone.InstallZoneTable(f.DB, "Zone", gals, f.ZoneHeight)
+	if err != nil {
+		return err
+	}
+	zone.RegisterNearbyTVF(f.DB, f.zoneT, f.ZoneHeight)
+	return nil
+}
+
+type dbSearcher struct {
+	t      *sqldb.Table
+	height float64
+}
+
+// Search implements Searcher over the DB zone table.
+func (s dbSearcher) Search(raDeg, decDeg, rDeg float64, visit func(Neighbor)) error {
+	return zone.SearchTable(s.t, s.height, raDeg, decDeg, rDeg, func(zr zone.ZoneRow) {
+		visit(Neighbor{
+			ObjID: zr.ObjID, Ra: zr.Ra, Dec: zr.Dec,
+			Distance: zr.Distance, I: zr.I, Gr: zr.Gr, Ri: zr.Ri,
+		})
+	})
+}
+
+// Searcher returns the zone-table-backed galaxy searcher. SpZone must have
+// run first.
+func (f *DBFinder) Searcher() (Searcher, error) {
+	if f.zoneT == nil {
+		return nil, fmt.Errorf("maxbcg: SpZone has not been run")
+	}
+	return dbSearcher{t: f.zoneT, height: f.ZoneHeight}, nil
+}
+
+// MakeCandidates runs fBCGCandidate for every galaxy in area and fills the
+// Candidates table (the paper's spMakeCandidates cursor). It also builds
+// the zone-clustered candidate table used by fIsCluster — "we do in
+// advance what will be required later".
+func (f *DBFinder) MakeCandidates(area astro.Box) (int64, error) {
+	if f.zoneT == nil {
+		return 0, fmt.Errorf("maxbcg: SpZone must run before MakeCandidates")
+	}
+	if err := f.candT.Truncate(); err != nil {
+		return 0, err
+	}
+	// One counted read of the k-correction table; SQL Server would keep
+	// these 40 kB of pages cached exactly the same way.
+	if _, err := f.readKcorr(); err != nil {
+		return 0, err
+	}
+	s := dbSearcher{t: f.zoneT, height: f.ZoneHeight}
+	cur, err := f.galaxyT.Scan()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for cur.Next() {
+		row := cur.Row()
+		var g sky.Galaxy
+		g.ObjID, _ = row[0].AsInt()
+		g.Ra, _ = row[1].AsFloat()
+		g.Dec, _ = row[2].AsFloat()
+		if !area.Contains(g.Ra, g.Dec) {
+			continue
+		}
+		g.I, _ = row[3].AsFloat()
+		g.Gr, _ = row[4].AsFloat()
+		g.Ri, _ = row[5].AsFloat()
+		g.SigmaGr, _ = row[6].AsFloat()
+		g.SigmaRi, _ = row[7].AsFloat()
+		c, ok, err := BCGCandidate(f.Params, &g, f.Kcorr, s)
+		if err != nil {
+			cur.Close()
+			return n, err
+		}
+		if !ok {
+			continue
+		}
+		ins := []sqldb.Value{
+			sqldb.Int(c.ObjID), sqldb.Float(c.Ra), sqldb.Float(c.Dec),
+			sqldb.Float(c.Z), sqldb.Float(c.I), sqldb.Int(int64(c.NGal)), sqldb.Float(c.Chi2),
+		}
+		if err := f.candT.Insert(ins); err != nil {
+			cur.Close()
+			return n, err
+		}
+		n++
+	}
+	err = cur.Err()
+	cur.Close()
+	if err != nil {
+		return n, err
+	}
+	return n, f.buildCandidateZones()
+}
+
+// buildCandidateZones clusters the candidates by (zoneid, ra) so fIsCluster
+// can range-scan them.
+func (f *DBFinder) buildCandidateZones() error {
+	_ = f.DB.DropTable("CandZone", true)
+	cols := []sqldb.Column{
+		{Name: "zoneid", Type: sqldb.TInt},
+		{Name: "ra", Type: sqldb.TFloat},
+		{Name: "dec", Type: sqldb.TFloat},
+		{Name: "objid", Type: sqldb.TInt},
+		{Name: "z", Type: sqldb.TFloat},
+		{Name: "i", Type: sqldb.TFloat},
+		{Name: "ngal", Type: sqldb.TInt},
+		{Name: "chi2", Type: sqldb.TFloat},
+	}
+	t, err := f.DB.CreateTable("CandZone", cols, "")
+	if err != nil {
+		return err
+	}
+	cur, err := f.candT.Scan()
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	for cur.Next() {
+		row := cur.Row()
+		dec, _ := row[2].AsFloat()
+		ins := []sqldb.Value{
+			sqldb.Int(int64(astro.ZoneID(dec, f.ZoneHeight))),
+			row[1], row[2], row[0], row[3], row[4], row[5], row[6],
+		}
+		if err := t.Insert(ins); err != nil {
+			return err
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	if err := t.Recluster([]string{"zoneid", "ra"}); err != nil {
+		return err
+	}
+	f.candZT = t
+	return nil
+}
+
+// readKcorr scans the Kcorr table (I/O accounting for the cross join).
+func (f *DBFinder) readKcorr() (int, error) {
+	cur, err := f.kcorrT.Scan()
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	n := 0
+	for cur.Next() {
+		n++
+	}
+	return n, cur.Err()
+}
+
+type dbCandSearcher struct {
+	t      *sqldb.Table
+	height float64
+}
+
+// SearchCandidates implements CandidateSearcher via zone range scans over
+// the clustered candidate table.
+func (s dbCandSearcher) SearchCandidates(raDeg, decDeg, rDeg float64, visit func(Candidate)) error {
+	if rDeg < 0 {
+		return nil
+	}
+	center := astro.UnitVector(raDeg, decDeg)
+	r2 := astro.Chord2FromAngle(rDeg)
+	minZ, maxZ := astro.ZoneRange(decDeg, rDeg, s.height)
+	for z := minZ; z <= maxZ; z++ {
+		x := astro.RaHalfWidth(decDeg, rDeg, z, s.height)
+		cur, err := s.t.RangeScanPrefix(
+			[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(raDeg - x)},
+			[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(raDeg + x)},
+		)
+		if err != nil {
+			return err
+		}
+		for cur.Next() {
+			row := cur.Row()
+			ra, _ := row[1].AsFloat()
+			dec, _ := row[2].AsFloat()
+			if center.Chord2(astro.UnitVector(ra, dec)) >= r2 {
+				continue
+			}
+			var c Candidate
+			c.Ra, c.Dec = ra, dec
+			c.ObjID, _ = row[3].AsInt()
+			c.Z, _ = row[4].AsFloat()
+			c.I, _ = row[5].AsFloat()
+			ngal, _ := row[6].AsInt()
+			c.NGal = int(ngal)
+			c.Chi2, _ = row[7].AsFloat()
+			visit(c)
+		}
+		err = cur.Err()
+		cur.Close()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MakeClusters screens the Candidates table with fIsCluster and fills the
+// Clusters table with the candidates inside target that are the most likely
+// centre of their neighbourhood (the paper's spMakeClusters).
+func (f *DBFinder) MakeClusters(target astro.Box) (int64, error) {
+	if f.candZT == nil {
+		return 0, fmt.Errorf("maxbcg: MakeCandidates must run before MakeClusters")
+	}
+	if err := f.clusterT.Truncate(); err != nil {
+		return 0, err
+	}
+	cs := dbCandSearcher{t: f.candZT, height: f.ZoneHeight}
+	cur, err := f.candT.Scan()
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	var n int64
+	for cur.Next() {
+		row := cur.Row()
+		var c Candidate
+		c.ObjID, _ = row[0].AsInt()
+		c.Ra, _ = row[1].AsFloat()
+		c.Dec, _ = row[2].AsFloat()
+		if !target.Contains(c.Ra, c.Dec) {
+			continue
+		}
+		c.Z, _ = row[3].AsFloat()
+		c.I, _ = row[4].AsFloat()
+		ngal, _ := row[5].AsInt()
+		c.NGal = int(ngal)
+		c.Chi2, _ = row[6].AsFloat()
+		isC, err := IsCluster(f.Params, c, f.Kcorr, cs)
+		if err != nil {
+			return n, err
+		}
+		if !isC {
+			continue
+		}
+		ins := []sqldb.Value{
+			sqldb.Int(c.ObjID), sqldb.Float(c.Ra), sqldb.Float(c.Dec),
+			sqldb.Float(c.Z), sqldb.Float(c.I), sqldb.Int(int64(c.NGal)), sqldb.Float(c.Chi2),
+		}
+		if err := f.clusterT.Insert(ins); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, cur.Err()
+}
+
+// MakeMembers fills ClusterGalaxiesMetric for every cluster (the paper's
+// spMakeGalaxiesMetric).
+func (f *DBFinder) MakeMembers() (int64, error) {
+	if err := f.memberT.Truncate(); err != nil {
+		return 0, err
+	}
+	s := dbSearcher{t: f.zoneT, height: f.ZoneHeight}
+	cur, err := f.clusterT.Scan()
+	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	var n int64
+	for cur.Next() {
+		row := cur.Row()
+		var c Candidate
+		c.ObjID, _ = row[0].AsInt()
+		c.Ra, _ = row[1].AsFloat()
+		c.Dec, _ = row[2].AsFloat()
+		c.Z, _ = row[3].AsFloat()
+		c.I, _ = row[4].AsFloat()
+		ngal, _ := row[5].AsInt()
+		c.NGal = int(ngal)
+		c.Chi2, _ = row[6].AsFloat()
+		members, err := ClusterMembers(f.Params, c, f.Kcorr, s)
+		if err != nil {
+			return n, err
+		}
+		for _, m := range members {
+			ins := []sqldb.Value{
+				sqldb.Int(m.ClusterObjID), sqldb.Int(m.GalaxyObjID), sqldb.Float(m.Distance),
+			}
+			if err := f.memberT.Insert(ins); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, cur.Err()
+}
+
+// TaskReport is the per-task measurement block of one DBFinder run: the
+// rows of the paper's Table 1 for one server.
+type TaskReport struct {
+	Tasks    []perfmodel.TaskStats // spZone, fBCGCandidate, fIsCluster (+ members)
+	Galaxies int64                 // galaxies on this partition
+}
+
+// Total sums the task rows.
+func (r TaskReport) Total() perfmodel.TaskStats {
+	t := perfmodel.TaskStats{Name: "total"}
+	for _, s := range r.Tasks {
+		t.Elapsed += s.Elapsed
+		t.CPU += s.CPU
+		t.IO += s.IO
+	}
+	return t
+}
+
+// Run executes the full pipeline for target T against the already-imported
+// Galaxy table, measuring each task. includeMembers adds the member
+// retrieval step (not part of the paper's Table 1, reported separately).
+func (f *DBFinder) Run(target astro.Box, includeMembers bool) (*Result, TaskReport, error) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	report := TaskReport{Galaxies: f.galaxyT.NumRows()}
+	pool := f.DB.Pool()
+
+	measure := func(name string, fn func() error) error {
+		ioBefore := pool.Stats()
+		start := time.Now()
+		cpuStart := perfmodel.ThreadCPU()
+		err := fn()
+		report.Tasks = append(report.Tasks, perfmodel.TaskStats{
+			Name:    name,
+			Elapsed: time.Since(start),
+			CPU:     perfmodel.ThreadCPU() - cpuStart,
+			IO:      pool.Stats().Sub(ioBefore).Total(),
+		})
+		return err
+	}
+
+	area := target.Expand(f.Params.BufferDeg)
+	if err := measure("spZone", f.SpZone); err != nil {
+		return nil, report, err
+	}
+	if err := measure("fBCGCandidate", func() error {
+		_, err := f.MakeCandidates(area)
+		return err
+	}); err != nil {
+		return nil, report, err
+	}
+	if err := measure("fIsCluster", func() error {
+		_, err := f.MakeClusters(target)
+		return err
+	}); err != nil {
+		return nil, report, err
+	}
+	if includeMembers {
+		if err := measure("fGetClusterGalaxiesMetric", func() error {
+			_, err := f.MakeMembers()
+			return err
+		}); err != nil {
+			return nil, report, err
+		}
+	}
+	res, err := f.Result()
+	return res, report, err
+}
+
+// Result reads the output tables back into a Result ordered by ObjID.
+func (f *DBFinder) Result() (*Result, error) {
+	res := &Result{}
+	readCands := func(t *sqldb.Table) ([]Candidate, error) {
+		cur, err := t.Scan()
+		if err != nil {
+			return nil, err
+		}
+		defer cur.Close()
+		var out []Candidate
+		for cur.Next() {
+			row := cur.Row()
+			var c Candidate
+			c.ObjID, _ = row[0].AsInt()
+			c.Ra, _ = row[1].AsFloat()
+			c.Dec, _ = row[2].AsFloat()
+			c.Z, _ = row[3].AsFloat()
+			c.I, _ = row[4].AsFloat()
+			ngal, _ := row[5].AsInt()
+			c.NGal = int(ngal)
+			c.Chi2, _ = row[6].AsFloat()
+			out = append(out, c)
+		}
+		return out, cur.Err()
+	}
+	var err error
+	if res.Candidates, err = readCands(f.candT); err != nil {
+		return nil, err
+	}
+	if res.Clusters, err = readCands(f.clusterT); err != nil {
+		return nil, err
+	}
+	cur, err := f.memberT.Scan()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	for cur.Next() {
+		row := cur.Row()
+		var m Member
+		m.ClusterObjID, _ = row[0].AsInt()
+		m.GalaxyObjID, _ = row[1].AsInt()
+		m.Distance, _ = row[2].AsFloat()
+		res.Members = append(res.Members, m)
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	sortCandidates(res.Candidates)
+	sortCandidates(res.Clusters)
+	sort.Slice(res.Members, func(a, b int) bool {
+		if res.Members[a].ClusterObjID != res.Members[b].ClusterObjID {
+			return res.Members[a].ClusterObjID < res.Members[b].ClusterObjID
+		}
+		return res.Members[a].GalaxyObjID < res.Members[b].GalaxyObjID
+	})
+	return res, nil
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(a, b int) bool { return cs[a].ObjID < cs[b].ObjID })
+}

@@ -1,0 +1,313 @@
+// Package maxbcg implements the paper's primary subject: the
+// Maximum-likelihood Brightest Cluster Galaxy algorithm (Annis et al.) that
+// finds galaxy clusters in a 5-space of two positions (ra, dec), two
+// colours (g-r, r-i) and one brightness (i).
+//
+// The algorithm's six steps (paper §2.1) map onto this package as:
+//
+//	Get galaxy list                → the caller selects the region (Finder)
+//	Filter                        → chiSquareTable (χ² against Kcorr, cut 7)
+//	Check neighbors               → countNeighbors (per-redshift windows)
+//	Pick most likely              → IsCluster (max weighted likelihood)
+//	Discard compromised results   → Run (clusters clipped to the target)
+//	Retrieve members              → ClusterMembers (1 Mpc ∧ r200 windows)
+//
+// The per-galaxy functions are written against a Searcher interface so the
+// identical logic runs over the in-memory zone index, the sqldb-backed zone
+// table (I/O-accounted, for the paper's Table 1), and the TAM file
+// pipeline's RAM buffers (the baseline).
+package maxbcg
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sky"
+)
+
+// Params holds the algorithm constants. The values of DefaultParams are the
+// paper's: population sigmas 0.05 (g-r), 0.06 (r-i), 0.57 (i), χ² cutoff 7,
+// 0.5° buffer, and the fIsCluster redshift pairing window ±0.05.
+type Params struct {
+	GrPopSigma float64 // population dispersion of BCG g-r colours
+	RiPopSigma float64 // population dispersion of BCG r-i colours
+	IPopSigma  float64 // population dispersion of BCG i magnitudes
+	Chi2Cutoff float64 // unweighted-likelihood acceptance threshold
+	BufferDeg  float64 // buffer width around the target area (paper: 0.5)
+	ZWindow    float64 // redshift window when comparing candidates (±0.05)
+}
+
+// DefaultParams returns the paper's constants.
+func DefaultParams() Params {
+	return Params{
+		GrPopSigma: 0.05,
+		RiPopSigma: 0.06,
+		IPopSigma:  0.57,
+		Chi2Cutoff: 7,
+		BufferDeg:  0.5,
+		ZWindow:    0.05,
+	}
+}
+
+// Validate reports obviously broken parameter values.
+func (p Params) Validate() error {
+	if p.GrPopSigma <= 0 || p.RiPopSigma <= 0 || p.IPopSigma <= 0 {
+		return fmt.Errorf("maxbcg: population sigmas must be positive")
+	}
+	if p.Chi2Cutoff <= 0 {
+		return fmt.Errorf("maxbcg: chi-squared cutoff must be positive")
+	}
+	if p.BufferDeg < 0 || p.BufferDeg > 5 {
+		return fmt.Errorf("maxbcg: buffer %g degrees outside [0, 5]", p.BufferDeg)
+	}
+	if p.ZWindow <= 0 {
+		return fmt.Errorf("maxbcg: redshift window must be positive")
+	}
+	return nil
+}
+
+// Neighbor is one galaxy delivered by a Searcher: photometry plus the
+// distance from the search centre in degrees.
+type Neighbor struct {
+	ObjID     int64
+	Ra, Dec   float64
+	Distance  float64
+	I, Gr, Ri float64
+}
+
+// Searcher finds all galaxies within r degrees of a position. The three
+// implementations are the in-memory zone index, the DB zone table, and the
+// TAM buffer file scan.
+type Searcher interface {
+	Search(raDeg, decDeg, rDeg float64, visit func(Neighbor)) error
+}
+
+// Candidate is one row of the Candidates table: a galaxy that is likely to
+// be a BCG at its best-fitting redshift.
+type Candidate struct {
+	ObjID   int64
+	Ra, Dec float64
+	Z       float64 // redshift of the maximum weighted likelihood
+	I       float64 // i-band magnitude
+	NGal    int     // galaxies in the cluster (neighbours + the BCG)
+	Chi2    float64 // weighted likelihood log(ngal+1) − χ²
+}
+
+// Member is one row of the ClusterGalaxiesMetric table.
+type Member struct {
+	ClusterObjID int64
+	GalaxyObjID  int64
+	Distance     float64
+}
+
+// chiRow is one surviving row of the per-galaxy @chisquare table.
+type chiRow struct {
+	zid   int
+	chisq float64
+	ngal  int
+}
+
+// chiSquareTable reproduces the Filter step: the galaxy is cross-joined
+// with the k-correction table and rows with
+//
+//	(i−k.i)²/0.57² + (gr−k.gr)²/(σgr²+0.05²) + (ri−k.ri)²/(σri²+0.06²) < 7
+//
+// survive. The returned rows are ordered by zid. This early filter is the
+// first thing the paper credits for the SQL implementation's speed.
+func chiSquareTable(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, out []chiRow) []chiRow {
+	out = out[:0]
+	iVar := p.IPopSigma * p.IPopSigma
+	grVar := g.SigmaGr*g.SigmaGr + p.GrPopSigma*p.GrPopSigma
+	riVar := g.SigmaRi*g.SigmaRi + p.RiPopSigma*p.RiPopSigma
+	for k := range kcorr.Rows {
+		row := &kcorr.Rows[k]
+		di := g.I - row.I
+		dgr := g.Gr - row.Gr
+		dri := g.Ri - row.Ri
+		chisq := di*di/iVar + dgr*dgr/grVar + dri*dri/riVar
+		if chisq < p.Chi2Cutoff {
+			out = append(out, chiRow{zid: row.Zid, chisq: chisq})
+		}
+	}
+	return out
+}
+
+// windows aggregates the search bounds of the Check-neighbors step over the
+// surviving redshifts, as fBCGCandidate computes them: the maximum angular
+// 1 Mpc radius, the faintest member limit, and colour bands widened by two
+// population sigmas.
+type windows struct {
+	rad          float64
+	imin, imax   float64
+	grmin, grmax float64
+	rimin, rimax float64
+}
+
+func searchWindows(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, rows []chiRow) windows {
+	w := windows{
+		rad:  -math.MaxFloat64,
+		imax: -math.MaxFloat64, grmin: math.MaxFloat64, grmax: -math.MaxFloat64,
+		rimin: math.MaxFloat64, rimax: -math.MaxFloat64,
+	}
+	w.imin = g.I
+	for _, r := range rows {
+		k := &kcorr.Rows[r.zid-1]
+		w.rad = math.Max(w.rad, k.Radius)
+		w.imax = math.Max(w.imax, k.Ilim)
+		w.grmin = math.Min(w.grmin, k.Gr-2*p.GrPopSigma)
+		w.grmax = math.Max(w.grmax, k.Gr+2*p.GrPopSigma)
+		w.rimin = math.Min(w.rimin, k.Ri-2*p.RiPopSigma)
+		w.rimax = math.Max(w.rimax, k.Ri+2*p.RiPopSigma)
+	}
+	return w
+}
+
+// BCGCandidate reproduces fBCGCandidate for one galaxy: the χ² filter, the
+// windowed neighbour count per redshift, and the weighted-likelihood
+// maximisation. It returns (candidate, true) when the galaxy is a BCG
+// candidate at some redshift with at least one neighbour.
+func BCGCandidate(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, s Searcher) (Candidate, bool, error) {
+	var scratch [64]chiRow
+	rows := chiSquareTable(p, g, kcorr, scratch[:0])
+	if len(rows) == 0 {
+		return Candidate{}, false, nil
+	}
+	w := searchWindows(p, g, kcorr, rows)
+
+	// Collect friends: neighbours within the widest windows. The
+	// per-redshift re-filter below needs every friend for every row, so
+	// they are buffered (the paper's @friends table variable).
+	var friends []Neighbor
+	err := s.Search(g.Ra, g.Dec, w.rad, func(n Neighbor) {
+		if n.ObjID == g.ObjID {
+			return
+		}
+		if n.I < w.imin || n.I > w.imax {
+			return
+		}
+		if n.Gr < w.grmin || n.Gr > w.grmax {
+			return
+		}
+		if n.Ri < w.rimin || n.Ri > w.rimax {
+			return
+		}
+		friends = append(friends, n)
+	})
+	if err != nil {
+		return Candidate{}, false, err
+	}
+
+	// Count neighbours per surviving redshift (the paper's @counts).
+	for ri := range rows {
+		k := &kcorr.Rows[rows[ri].zid-1]
+		n := 0
+		for fi := range friends {
+			f := &friends[fi]
+			if f.Distance < k.Radius &&
+				f.I >= g.I && f.I <= k.Ilim &&
+				f.Gr >= k.Gr-p.GrPopSigma && f.Gr <= k.Gr+p.GrPopSigma &&
+				f.Ri >= k.Ri-p.RiPopSigma && f.Ri <= k.Ri+p.RiPopSigma {
+				n++
+			}
+		}
+		rows[ri].ngal = n
+	}
+
+	// Weight the likelihood and take the maximum over redshifts with at
+	// least one neighbour: chi = max(log(ngal+1) − χ²).
+	best := math.Inf(-1)
+	bestIdx := -1
+	for ri := range rows {
+		if rows[ri].ngal == 0 {
+			continue
+		}
+		l := math.Log(float64(rows[ri].ngal+1)) - rows[ri].chisq
+		if l > best {
+			best = l
+			bestIdx = ri
+		}
+	}
+	if bestIdx < 0 {
+		return Candidate{}, false, nil
+	}
+	k := &kcorr.Rows[rows[bestIdx].zid-1]
+	return Candidate{
+		ObjID: g.ObjID, Ra: g.Ra, Dec: g.Dec,
+		Z: k.Z, I: g.I,
+		NGal: rows[bestIdx].ngal + 1,
+		Chi2: best,
+	}, true, nil
+}
+
+// CandidateSearcher finds candidate BCGs near a position; implementations
+// search the Candidates table / slice.
+type CandidateSearcher interface {
+	SearchCandidates(raDeg, decDeg, rDeg float64, visit func(Candidate)) error
+}
+
+// IsCluster reproduces fIsCluster: the candidate is a cluster centre iff no
+// candidate within the 1 Mpc angular radius at its redshift (and within
+// ±ZWindow in redshift) has a larger weighted likelihood. Ties resolve as
+// the paper's |Δ| < 1e-5 equality check does: both centres survive.
+func IsCluster(p Params, c Candidate, kcorr *sky.Kcorr, cs CandidateSearcher) (bool, error) {
+	k, ok := kcorr.LookupExact(c.Z)
+	if !ok {
+		return false, fmt.Errorf("maxbcg: candidate %d has untabulated redshift %g", c.ObjID, c.Z)
+	}
+	best := math.Inf(-1)
+	err := cs.SearchCandidates(c.Ra, c.Dec, k.Radius, func(o Candidate) {
+		if o.Z < c.Z-p.ZWindow || o.Z > c.Z+p.ZWindow {
+			return
+		}
+		if o.Chi2 > best {
+			best = o.Chi2
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	return math.Abs(best-c.Chi2) < 1e-5, nil
+}
+
+// ClusterMembers reproduces fGetClusterGalaxiesMetric: the cluster's
+// galaxies are those inside radius(z)·r200(ngal) degrees whose magnitude
+// lies in (BCG.i − 0.001, ilim(z)] and whose colours sit within one
+// population sigma of the red sequence at z. The centre itself is the first
+// member at distance zero.
+func ClusterMembers(p Params, c Candidate, kcorr *sky.Kcorr, s Searcher) ([]Member, error) {
+	k, ok := kcorr.LookupExact(c.Z)
+	if !ok {
+		return nil, fmt.Errorf("maxbcg: cluster %d has untabulated redshift %g", c.ObjID, c.Z)
+	}
+	rad := k.Radius * sky.R200Mpc(float64(c.NGal))
+	members := []Member{{ClusterObjID: c.ObjID, GalaxyObjID: c.ObjID, Distance: 0}}
+	err := s.Search(c.Ra, c.Dec, rad, func(n Neighbor) {
+		if n.ObjID == c.ObjID || n.Distance >= rad {
+			return
+		}
+		if n.I < c.I-0.001 || n.I > k.Ilim {
+			return
+		}
+		if n.Gr < k.Gr-p.GrPopSigma || n.Gr > k.Gr+p.GrPopSigma {
+			return
+		}
+		if n.Ri < k.Ri-p.RiPopSigma || n.Ri > k.Ri+p.RiPopSigma {
+			return
+		}
+		members = append(members, Member{ClusterObjID: c.ObjID, GalaxyObjID: n.ObjID, Distance: n.Distance})
+	})
+	return members, err
+}
+
+// Result bundles the three output tables of one MaxBCG run.
+type Result struct {
+	Candidates []Candidate // the Candidates table (buffer area B)
+	Clusters   []Candidate // the Clusters table (target area T)
+	Members    []Member    // the ClusterGalaxiesMetric table
+}
+
+// Summary returns counts for quick reporting.
+func (r *Result) Summary() string {
+	return fmt.Sprintf("%d candidates, %d clusters, %d member rows",
+		len(r.Candidates), len(r.Clusters), len(r.Members))
+}

@@ -1,0 +1,56 @@
+// Package perfmodel provides the measurement and normalisation machinery
+// behind the reproduction's benchmark tables: per-thread CPU clocks for the
+// per-task CPU column of Table 1, and the paper's own scale-factor
+// arithmetic for Tables 2 and 3 (converting the TAM configuration into the
+// SQL configuration: CPU count, clock speed, target area, redshift steps,
+// and buffer width).
+package perfmodel
+
+import (
+	"syscall"
+	"time"
+)
+
+// rusageThread is Linux's RUSAGE_THREAD: resource usage of the calling
+// thread only. Callers must pin their goroutine with runtime.LockOSThread
+// for deltas to be meaningful.
+const rusageThread = 1
+
+// ThreadCPU returns the calling OS thread's consumed CPU time (user +
+// system). It returns zero if the platform refuses the query, so deltas
+// degrade to zero rather than garbage.
+func ThreadCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// ProcessCPU returns the whole process's consumed CPU time.
+func ProcessCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// TaskStats is one row of a Table 1-style report: a named task with its
+// elapsed wall time, CPU time, and I/O operation count.
+type TaskStats struct {
+	Name    string
+	Elapsed time.Duration
+	CPU     time.Duration
+	IO      int64
+}
+
+// Span measures a task: it pins the goroutine to its OS thread, runs fn,
+// and returns elapsed and CPU durations. The caller supplies I/O deltas
+// from its buffer pool.
+func Span(fn func() error) (elapsed, cpu time.Duration, err error) {
+	start := time.Now()
+	cpuStart := ThreadCPU()
+	err = fn()
+	return time.Since(start), ThreadCPU() - cpuStart, err
+}

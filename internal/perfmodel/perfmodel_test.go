@@ -1,0 +1,108 @@
+package perfmodel
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestThreadCPUAdvances(t *testing.T) {
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	start := ThreadCPU()
+	// Burn a little CPU.
+	x := 1.0
+	for i := 0; i < 5_000_000; i++ {
+		x = x*1.0000001 + 1e-9
+	}
+	if x == 0 {
+		t.Fatal("unreachable")
+	}
+	if d := ThreadCPU() - start; d <= 0 {
+		t.Errorf("thread CPU did not advance: %v", d)
+	}
+	if ProcessCPU() <= 0 {
+		t.Error("process CPU is zero")
+	}
+}
+
+func TestSpanMeasures(t *testing.T) {
+	elapsed, _, err := Span(func() error {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 10*time.Millisecond {
+		t.Errorf("elapsed %v < slept duration", elapsed)
+	}
+}
+
+func TestTable2Arithmetic(t *testing.T) {
+	s := ComputeScaleFactors(TAMConfig(), SQLConfig())
+	if s.CPUFactor != 0.5 {
+		t.Errorf("CPU factor = %g, want 0.5", s.CPUFactor)
+	}
+	if math.Abs(s.Clock-600.0/2600.0) > 1e-12 {
+		t.Errorf("clock factor = %g, want %g", s.Clock, 600.0/2600.0)
+	}
+	if s.Area != 264 {
+		t.Errorf("area factor = %g, want 264", s.Area)
+	}
+	// z-ratio 10 × buffer growth (1.5/1)² = 22.5; the paper rounds the
+	// combined factor to 25.
+	if math.Abs(s.Work-22.5) > 1e-9 {
+		t.Errorf("work factor = %g, want 22.5", s.Work)
+	}
+	// Total lands near the paper's 825 (the paper's rounding gives
+	// 0.5 × 0.25 × 264 × 25 = 825; exact arithmetic gives ~685).
+	if s.Total < 600 || s.Total > 900 {
+		t.Errorf("total factor %g far from the paper's 825", s.Total)
+	}
+	out := s.Format()
+	for _, want := range []string{"Table 2", "825", "264"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperTable3Ratios(t *testing.T) {
+	rows := PaperTable3()
+	if rows[1].Ratio != 44 || rows[3].Ratio != 18 {
+		t.Fatalf("paper ratios wrong: %+v", rows)
+	}
+	// FillRatios derives consistent values.
+	blank := []Table3Row{
+		{System: "TAM (scaled)", Nodes: 1, TimeSec: 825000},
+		{System: "SQL Server", Nodes: 1, TimeSec: 18635},
+		{System: "TAM (scaled)", Nodes: 5, TimeSec: 165000},
+		{System: "SQL Server", Nodes: 3, TimeSec: 8988},
+	}
+	FillRatios(blank)
+	if math.Abs(blank[1].Ratio-44.27) > 0.1 {
+		t.Errorf("1-node ratio = %g, want ~44", blank[1].Ratio)
+	}
+	if math.Abs(blank[3].Ratio-18.36) > 0.1 {
+		t.Errorf("cluster ratio = %g, want ~18", blank[3].Ratio)
+	}
+}
+
+func TestTaskStatsAggregation(t *testing.T) {
+	rows := []TaskStats{
+		{Name: "spZone", Elapsed: time.Second, CPU: 500 * time.Millisecond, IO: 100},
+		{Name: "fBCGCandidate", Elapsed: 2 * time.Second, CPU: 1900 * time.Millisecond, IO: 50},
+	}
+	var total TaskStats
+	for _, r := range rows {
+		total.Elapsed += r.Elapsed
+		total.CPU += r.CPU
+		total.IO += r.IO
+	}
+	if total.Elapsed != 3*time.Second || total.IO != 150 {
+		t.Errorf("aggregation wrong: %+v", total)
+	}
+}

@@ -1,0 +1,115 @@
+package perfmodel
+
+import "fmt"
+
+// SystemConfig describes one of the paper's two test configurations
+// (Table 2's columns).
+type SystemConfig struct {
+	Name           string
+	CPUs           int     // CPUs used by the run
+	CPUMHz         int     // per-CPU clock
+	TargetAreaDeg2 float64 // target field size
+	ZSteps         int     // k-correction resolution
+	BufferDeg      float64 // buffer width
+	FieldSideDeg   float64 // decomposition unit (for the buffer geometry)
+}
+
+// TAMConfig is the paper's TAM column: one 600 MHz CPU, 0.25 deg² fields,
+// z-steps of 0.01 (100 rows), 0.25° buffer.
+func TAMConfig() SystemConfig {
+	return SystemConfig{
+		Name: "TAM", CPUs: 1, CPUMHz: 600,
+		TargetAreaDeg2: 0.25, ZSteps: 100, BufferDeg: 0.25, FieldSideDeg: 0.5,
+	}
+}
+
+// SQLConfig is the paper's SQL Server column: dual 2.6 GHz, 66 deg² target,
+// z-steps of 0.001 (1000 rows), 0.5° buffer.
+func SQLConfig() SystemConfig {
+	return SystemConfig{
+		Name: "SQL Server", CPUs: 2, CPUMHz: 2600,
+		TargetAreaDeg2: 66, ZSteps: 1000, BufferDeg: 0.5, FieldSideDeg: 0.5,
+	}
+}
+
+// ScaleFactors is the paper's Table 2: the multipliers that convert the TAM
+// test case into the SQL test case. Paper column values: CPUs 0.5, clock
+// ~0.25, target field 264, z-steps × buffer 25, total 825.
+type ScaleFactors struct {
+	From, To   SystemConfig
+	CPUFactor  float64 // fewer CPUs → more time per CPU
+	Clock      float64 // slower clock → more time
+	Area       float64 // larger target → more fields
+	Work       float64 // finer z-steps × wider buffer → more work per field
+	Total      float64
+	PaperTotal float64 // the paper's rounded 825
+}
+
+// ComputeScaleFactors reproduces Table 2's arithmetic. The work factor is
+// the z-step ratio times the buffer-area growth of a field's neighbourhood
+// search, ((side+2·b2)/(side+2·b1))²; the paper rounds the product to 25.
+func ComputeScaleFactors(from, to SystemConfig) ScaleFactors {
+	s := ScaleFactors{From: from, To: to, PaperTotal: 825}
+	s.CPUFactor = float64(from.CPUs) / float64(to.CPUs)
+	s.Clock = float64(from.CPUMHz) / float64(to.CPUMHz)
+	s.Area = to.TargetAreaDeg2 / from.TargetAreaDeg2
+	zRatio := float64(to.ZSteps) / float64(from.ZSteps)
+	b1 := from.FieldSideDeg + 2*from.BufferDeg
+	b2 := to.FieldSideDeg + 2*to.BufferDeg
+	s.Work = zRatio * (b2 * b2) / (b1 * b1)
+	s.Total = s.CPUFactor * s.Clock * s.Area * s.Work
+	return s
+}
+
+// Format renders the Table 2 layout.
+func (s ScaleFactors) Format() string {
+	return fmt.Sprintf(`Table 2. Time scale factors, %s test case -> %s test case
+                    %-12s %-12s Scale Factor   (paper)
+  CPUs used         %-12d %-12d %-14.3g 0.5
+  CPU clock         %-12s %-12s %-14.3g ~0.25
+  Target field      %-12s %-12s %-14.4g 264
+  z-steps x buffer  %d/%g          %d/%g       %-14.4g 25
+  Total                                        %-14.5g %.0f
+`,
+		s.From.Name, s.To.Name, s.From.Name, s.To.Name,
+		s.From.CPUs, s.To.CPUs, s.CPUFactor,
+		fmt.Sprintf("%d MHz", s.From.CPUMHz), fmt.Sprintf("%d MHz", s.To.CPUMHz), s.Clock,
+		fmt.Sprintf("%g deg2", s.From.TargetAreaDeg2), fmt.Sprintf("%g deg2", s.To.TargetAreaDeg2), s.Area,
+		s.From.ZSteps, s.From.BufferDeg, s.To.ZSteps, s.To.BufferDeg, s.Work,
+		s.Total, s.PaperTotal)
+}
+
+// Table3Row is one comparison line of the paper's Table 3.
+type Table3Row struct {
+	System  string
+	Nodes   int
+	TimeSec float64
+	Ratio   float64 // filled against the preceding TAM row
+}
+
+// PaperTable3 returns the paper's published numbers for reference output.
+func PaperTable3() []Table3Row {
+	return []Table3Row{
+		{System: "TAM (scaled)", Nodes: 1, TimeSec: 825000},
+		{System: "SQL Server", Nodes: 1, TimeSec: 18635, Ratio: 44},
+		{System: "TAM (scaled)", Nodes: 5, TimeSec: 165000},
+		{System: "SQL Server", Nodes: 3, TimeSec: 8988, Ratio: 18},
+	}
+}
+
+// FillRatios computes each SQL row's ratio against the TAM row before it.
+func FillRatios(rows []Table3Row) {
+	var lastTAM float64
+	for i := range rows {
+		if rows[i].Ratio != 0 {
+			continue
+		}
+		if rows[i].System[:3] == "TAM" {
+			lastTAM = rows[i].TimeSec
+			continue
+		}
+		if lastTAM > 0 && rows[i].TimeSec > 0 {
+			rows[i].Ratio = lastTAM / rows[i].TimeSec
+		}
+	}
+}

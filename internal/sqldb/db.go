@@ -1,0 +1,465 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// DB is a single-namespace SQL database: the engine's equivalent of one
+// SQL Server instance (or one CasJobs MyDB). Open gives an in-memory
+// database; OpenAt persists pages to a file.
+type DB struct {
+	mu      sync.RWMutex
+	pool    *storage.Pool
+	tables  map[string]*Table
+	scalars map[string]ScalarFunc
+	tvfs    map[string]*TVF
+}
+
+// Open creates an in-memory database with the given buffer-pool size in
+// frames (0 selects a default of 4096 frames = 32 MiB).
+func Open(frames int) *DB {
+	if frames == 0 {
+		frames = 4096
+	}
+	return &DB{
+		pool:    storage.NewPool(storage.NewMemStore(), frames),
+		tables:  make(map[string]*Table),
+		scalars: make(map[string]ScalarFunc),
+		tvfs:    make(map[string]*TVF),
+	}
+}
+
+// OpenAt creates a file-backed database at path. The catalog itself is not
+// persisted — callers re-run their DDL on startup (as the paper's MyDB
+// scripts do); page data lives in the file so the pool's physical I/O is
+// real.
+func OpenAt(path string, frames int) (*DB, error) {
+	store, err := storage.OpenFileStore(path)
+	if err != nil {
+		return nil, err
+	}
+	if frames == 0 {
+		frames = 4096
+	}
+	return &DB{
+		pool:    storage.NewPool(store, frames),
+		tables:  make(map[string]*Table),
+		scalars: make(map[string]ScalarFunc),
+		tvfs:    make(map[string]*TVF),
+	}, nil
+}
+
+// Pool exposes the buffer pool, whose Stats feed the benchmark tables.
+func (db *DB) Pool() *storage.Pool { return db.pool }
+
+// Stats returns the pool counters.
+func (db *DB) Stats() storage.Stats { return db.pool.Stats() }
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames lists the catalog's tables.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for _, t := range db.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// CreateTable creates a table programmatically. pkCol may be empty.
+func (db *DB) CreateTable(name string, cols []Column, pkCol string) (*Table, error) {
+	var keyCols []int
+	unique := false
+	if pkCol != "" {
+		for i, c := range cols {
+			if strings.EqualFold(c.Name, pkCol) {
+				keyCols = []int{i}
+				unique = true
+				break
+			}
+		}
+		if keyCols == nil {
+			return nil, fmt.Errorf("sqldb: PRIMARY KEY column %q not in column list", pkCol)
+		}
+	}
+	t, err := newTable(db.pool, name, cols, keyCols, unique)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("sqldb: table %s already exists", name)
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// CreateTableClustered creates a table whose storage is clustered on the
+// given (non-unique) key columns from the start, avoiding the rebuild that
+// CREATE CLUSTERED INDEX performs. Loads are fastest when rows arrive in
+// key order.
+func (db *DB) CreateTableClustered(name string, cols []Column, keyCols []string) (*Table, error) {
+	idx := make([]int, len(keyCols))
+	for i, kc := range keyCols {
+		found := -1
+		for ci, c := range cols {
+			if strings.EqualFold(c.Name, kc) {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("sqldb: clustered key column %q not in column list", kc)
+		}
+		idx[i] = found
+	}
+	t, err := newTable(db.pool, name, cols, idx, false)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("sqldb: table %s already exists", name)
+	}
+	db.tables[key] = t
+	return t, nil
+}
+
+// DropTable removes a table from the catalog.
+func (db *DB) DropTable(name string, ifExists bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("sqldb: table %s does not exist", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// RegisterScalar installs a scalar UDF callable from SQL (case-insensitive).
+func (db *DB) RegisterScalar(name string, fn ScalarFunc) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.scalars[strings.ToUpper(name)] = fn
+}
+
+// RegisterTVF installs a table-valued function callable in FROM clauses.
+func (db *DB) RegisterTVF(name string, tvf *TVF) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tvfs[strings.ToUpper(name)] = tvf
+}
+
+func (db *DB) scalarFunc(name string) (ScalarFunc, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	fn, ok := db.scalars[strings.ToUpper(name)]
+	return fn, ok
+}
+
+func (db *DB) tvf(name string) (*TVF, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tvfs[strings.ToUpper(name)]
+	return t, ok
+}
+
+// Query parses and executes a SELECT, returning its rows.
+func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+	}
+	return db.execSelect(sel, args)
+}
+
+// Exec parses and executes any single statement, returning the number of
+// rows affected (or returned, for SELECT).
+func (db *DB) Exec(sql string, args ...Value) (int64, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	return db.execStmt(stmt, args)
+}
+
+// ExecScript runs a semicolon-separated sequence of statements, stopping at
+// the first error.
+func (db *DB) ExecScript(sql string, args ...Value) error {
+	stmts, err := ParseScript(sql)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if _, err := db.execStmt(s, args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		rows, err := db.execSelect(s, params)
+		if err != nil {
+			return 0, err
+		}
+		return int64(rows.Len()), nil
+	case *CreateTableStmt:
+		return 0, db.execCreateTable(s)
+	case *CreateIndexStmt:
+		return 0, db.execCreateIndex(s)
+	case *DropTableStmt:
+		return 0, db.DropTable(s.Name, s.IfExists)
+	case *TruncateStmt:
+		t, ok := db.Table(s.Table)
+		if !ok {
+			return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
+		}
+		n := t.NumRows()
+		return n, t.Truncate()
+	case *InsertStmt:
+		return db.execInsert(s, params)
+	case *UpdateStmt:
+		return db.execUpdate(s, params)
+	case *DeleteStmt:
+		return db.execDelete(s, params)
+	}
+	return 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+}
+
+func (db *DB) execCreateTable(s *CreateTableStmt) error {
+	cols := make([]Column, len(s.Cols))
+	pk := ""
+	for i, c := range s.Cols {
+		cols[i] = Column{Name: c.Name, Type: c.Type, Identity: c.Identity}
+		if c.PK {
+			if pk != "" {
+				return fmt.Errorf("sqldb: table %s declares multiple primary keys", s.Name)
+			}
+			pk = c.Name
+		}
+	}
+	_, err := db.CreateTable(s.Name, cols, pk)
+	return err
+}
+
+func (db *DB) execCreateIndex(s *CreateIndexStmt) error {
+	if !s.Clustered {
+		return fmt.Errorf("sqldb: only CLUSTERED indexes are supported (non-clustered index %s)", s.Name)
+	}
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return fmt.Errorf("sqldb: unknown table %s", s.Table)
+	}
+	return t.Recluster(s.Cols)
+}
+
+func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
+	}
+	// Map the statement's column list to schema positions.
+	colIdx := make([]int, 0, len(t.Cols))
+	if len(s.Cols) == 0 {
+		for i := range t.Cols {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range s.Cols {
+			ci := t.ColIndex(name)
+			if ci < 0 {
+				return 0, fmt.Errorf("sqldb: no column %q in table %s", name, s.Table)
+			}
+			colIdx = append(colIdx, ci)
+		}
+	}
+	buildRow := func(vals []Value) ([]Value, error) {
+		if len(vals) != len(colIdx) {
+			return nil, fmt.Errorf("sqldb: INSERT supplies %d values for %d columns", len(vals), len(colIdx))
+		}
+		row := make([]Value, len(t.Cols))
+		for i := range row {
+			row[i] = Null()
+		}
+		for i, ci := range colIdx {
+			row[ci] = vals[i]
+		}
+		return row, nil
+	}
+
+	var n int64
+	if s.Query != nil {
+		rows, err := db.execSelect(s.Query, params)
+		if err != nil {
+			return 0, err
+		}
+		for rows.Next() {
+			row, err := buildRow(rows.Row())
+			if err != nil {
+				return n, err
+			}
+			if err := t.Insert(row); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	}
+	ev := &env{params: params, db: db}
+	for _, exprs := range s.Rows {
+		vals := make([]Value, len(exprs))
+		for i, e := range exprs {
+			v, err := eval(e, ev)
+			if err != nil {
+				return n, err
+			}
+			vals[i] = v
+		}
+		row, err := buildRow(vals)
+		if err != nil {
+			return n, err
+		}
+		if err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// execUpdate rewrites the table: matching rows get their SET columns
+// re-evaluated. Key-column updates move rows, which the rewrite handles
+// naturally.
+func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int64, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
+	}
+	sch := make(schema, len(t.Cols))
+	for i, c := range t.Cols {
+		sch[i] = colMeta{alias: strings.ToLower(t.Name), name: c.Name}
+	}
+	setIdx := make([]int, len(s.Sets))
+	for i, set := range s.Sets {
+		ci := t.ColIndex(set.Col)
+		if ci < 0 {
+			return 0, fmt.Errorf("sqldb: no column %q in table %s", set.Col, s.Table)
+		}
+		setIdx[i] = ci
+	}
+	cur, err := t.Scan()
+	if err != nil {
+		return 0, err
+	}
+	var rows [][]Value
+	var n int64
+	ev := &env{schema: sch, params: params, db: db}
+	for cur.Next() {
+		row := append([]Value(nil), cur.Row()...)
+		ev.row = row
+		match := true
+		if s.Where != nil {
+			v, err := eval(s.Where, ev)
+			if err != nil {
+				cur.Close()
+				return 0, err
+			}
+			match = v.AsBool()
+		}
+		if match {
+			updated := append([]Value(nil), row...)
+			for i, set := range s.Sets {
+				v, err := eval(set.Val, ev)
+				if err != nil {
+					cur.Close()
+					return 0, err
+				}
+				updated[setIdx[i]] = v
+			}
+			rows = append(rows, updated)
+			n++
+		} else {
+			rows = append(rows, row)
+		}
+	}
+	cur.Close()
+	if err := cur.Err(); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return n, t.ReplaceAll(rows)
+}
+
+// execDelete rewrites the table without the matching rows.
+func (db *DB) execDelete(s *DeleteStmt, params []Value) (int64, error) {
+	t, ok := db.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
+	}
+	sch := make(schema, len(t.Cols))
+	for i, c := range t.Cols {
+		sch[i] = colMeta{alias: strings.ToLower(t.Name), name: c.Name}
+	}
+	cur, err := t.Scan()
+	if err != nil {
+		return 0, err
+	}
+	var keep [][]Value
+	var n int64
+	ev := &env{schema: sch, params: params, db: db}
+	for cur.Next() {
+		row := append([]Value(nil), cur.Row()...)
+		match := true
+		if s.Where != nil {
+			ev.row = row
+			v, err := eval(s.Where, ev)
+			if err != nil {
+				cur.Close()
+				return 0, err
+			}
+			match = v.AsBool()
+		}
+		if match {
+			n++
+		} else {
+			keep = append(keep, row)
+		}
+	}
+	cur.Close()
+	if err := cur.Err(); err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return n, t.ReplaceAll(keep)
+}

@@ -1,0 +1,913 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rows is a fully materialised query result.
+type Rows struct {
+	Columns []string
+	data    [][]Value
+	i       int
+}
+
+// Next advances to the following row, returning false after the last one.
+func (r *Rows) Next() bool {
+	if r.i >= len(r.data) {
+		return false
+	}
+	r.i++
+	return true
+}
+
+// Row returns the current row after a successful Next.
+func (r *Rows) Row() []Value { return r.data[r.i-1] }
+
+// Len returns the number of rows in the result.
+func (r *Rows) Len() int { return len(r.data) }
+
+// All returns every row.
+func (r *Rows) All() [][]Value { return r.data }
+
+// rowIter is the Volcano iterator contract: next returns (nil, nil) at the
+// end of the stream.
+type rowIter interface {
+	next() ([]Value, error)
+	close()
+}
+
+// sliceIter replays materialised rows.
+type sliceIter struct {
+	rows [][]Value
+	i    int
+}
+
+func (s *sliceIter) next() ([]Value, error) {
+	if s.i >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, nil
+}
+func (s *sliceIter) close() {}
+
+// tableScanIter streams a table cursor.
+type tableScanIter struct{ c *TableCursor }
+
+func (t *tableScanIter) next() ([]Value, error) {
+	if !t.c.Next() {
+		if err := t.c.Err(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return append([]Value(nil), t.c.Row()...), nil
+}
+func (t *tableScanIter) close() { t.c.Close() }
+
+// filterIter drops rows whose predicate is not true.
+type filterIter struct {
+	src  rowIter
+	pred Expr
+	ev   *env
+}
+
+func (f *filterIter) next() ([]Value, error) {
+	for {
+		row, err := f.src.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		f.ev.row = row
+		v, err := eval(f.pred, f.ev)
+		if err != nil {
+			return nil, err
+		}
+		if v.AsBool() {
+			return row, nil
+		}
+	}
+}
+func (f *filterIter) close() { f.src.close() }
+
+// nestedLoopJoin streams the left input against a materialised right side.
+// kind: joinInner (On optional), joinCross, joinLeft.
+type nestedLoopJoin struct {
+	left     rowIter
+	right    [][]Value
+	kind     joinKind
+	on       Expr
+	ev       *env // env over the combined schema
+	leftRow  []Value
+	ri       int
+	matched  bool
+	rightLen int // number of right columns for null padding
+}
+
+func (j *nestedLoopJoin) next() ([]Value, error) {
+	for {
+		if j.leftRow == nil {
+			row, err := j.left.next()
+			if err != nil || row == nil {
+				return nil, err
+			}
+			j.leftRow = row
+			j.ri = 0
+			j.matched = false
+		}
+		for j.ri < len(j.right) {
+			r := j.right[j.ri]
+			j.ri++
+			combined := append(append([]Value(nil), j.leftRow...), r...)
+			if j.on != nil {
+				j.ev.row = combined
+				v, err := eval(j.on, j.ev)
+				if err != nil {
+					return nil, err
+				}
+				if !v.AsBool() {
+					continue
+				}
+			}
+			j.matched = true
+			return combined, nil
+		}
+		if j.kind == joinLeft && !j.matched {
+			combined := append([]Value(nil), j.leftRow...)
+			for i := 0; i < j.rightLen; i++ {
+				combined = append(combined, Null())
+			}
+			j.leftRow = nil
+			return combined, nil
+		}
+		j.leftRow = nil
+	}
+}
+func (j *nestedLoopJoin) close() { j.left.close() }
+
+// hashJoin builds a hash table on the right side's equi-key and probes with
+// the left stream. Residual ON conjuncts are checked per match.
+type hashJoin struct {
+	left     rowIter
+	buckets  map[string][][]Value
+	leftKeys []Expr
+	residual Expr
+	evLeft   *env // schema = left only
+	evBoth   *env // schema = combined
+	leftRow  []Value
+	matches  [][]Value
+	mi       int
+}
+
+func (j *hashJoin) next() ([]Value, error) {
+	for {
+		for j.mi < len(j.matches) {
+			r := j.matches[j.mi]
+			j.mi++
+			combined := append(append([]Value(nil), j.leftRow...), r...)
+			if j.residual != nil {
+				j.evBoth.row = combined
+				v, err := eval(j.residual, j.evBoth)
+				if err != nil {
+					return nil, err
+				}
+				if !v.AsBool() {
+					continue
+				}
+			}
+			return combined, nil
+		}
+		row, err := j.left.next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		j.leftRow = row
+		j.evLeft.row = row
+		key, null, err := joinKey(j.leftKeys, j.evLeft)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			j.matches = nil
+			j.mi = 0
+			continue
+		}
+		j.matches = j.buckets[key]
+		j.mi = 0
+	}
+}
+func (j *hashJoin) close() { j.left.close() }
+
+// joinKey renders the equi-key; null=true when any component is NULL
+// (NULLs never join).
+func joinKey(keys []Expr, ev *env) (string, bool, error) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v, err := eval(k, ev)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		sb.WriteString(v.GroupKey())
+		sb.WriteByte(0)
+	}
+	return sb.String(), false, nil
+}
+
+// limitIter stops after n rows.
+type limitIter struct {
+	src rowIter
+	n   int64
+}
+
+func (l *limitIter) next() ([]Value, error) {
+	if l.n <= 0 {
+		return nil, nil
+	}
+	row, err := l.src.next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.n--
+	return row, nil
+}
+func (l *limitIter) close() { l.src.close() }
+
+// ---------------------------------------------------------------------------
+// FROM-clause planning
+
+// conjuncts flattens an AND tree.
+func conjuncts(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// rangeBounds extracts inclusive [lo, hi] bounds on the table's leading
+// clustered-key column from the WHERE conjuncts. Pushdown is an
+// optimisation only: every predicate is still re-checked by the filter, so
+// strict bounds may be treated as inclusive. Unqualified column names are
+// only trusted when the query has a single FROM item.
+func rangeBounds(where Expr, alias string, t *Table, params []Value, singleTable bool) (lo, hi Value) {
+	lo, hi = Null(), Null()
+	if where == nil || len(t.KeyCols) == 0 {
+		return lo, hi
+	}
+	leading := t.Cols[t.KeyCols[0]].Name
+	ev := &env{params: params}
+	matches := func(e Expr) bool {
+		c, ok := e.(*ColumnRef)
+		if !ok || !strings.EqualFold(c.Name, leading) {
+			return false
+		}
+		if c.Table == "" {
+			return singleTable
+		}
+		return strings.EqualFold(c.Table, alias)
+	}
+	constVal := func(e Expr) (Value, bool) {
+		switch e.(type) {
+		case *Literal, *Param:
+		default:
+			return Value{}, false
+		}
+		v, err := eval(e, ev)
+		if err != nil || v.IsNull() {
+			return Value{}, false
+		}
+		return v, true
+	}
+	tightenLo := func(v Value) {
+		if lo.IsNull() || CompareForSort(v, lo) > 0 {
+			lo = v
+		}
+	}
+	tightenHi := func(v Value) {
+		if hi.IsNull() || CompareForSort(v, hi) < 0 {
+			hi = v
+		}
+	}
+	for _, c := range conjuncts(where) {
+		switch x := c.(type) {
+		case *Between:
+			if x.Not || !matches(x.X) {
+				continue
+			}
+			if v, ok := constVal(x.Lo); ok {
+				tightenLo(v)
+			}
+			if v, ok := constVal(x.Hi); ok {
+				tightenHi(v)
+			}
+		case *Binary:
+			col, val := x.L, x.R
+			op := x.Op
+			if !matches(col) {
+				// try flipped: literal op column
+				if matches(x.R) {
+					col, val = x.R, x.L
+					switch op {
+					case "<":
+						op = ">"
+					case "<=":
+						op = ">="
+					case ">":
+						op = "<"
+					case ">=":
+						op = "<="
+					}
+				} else {
+					continue
+				}
+			}
+			_ = col
+			v, ok := constVal(val)
+			if !ok {
+				continue
+			}
+			switch op {
+			case "=":
+				tightenLo(v)
+				tightenHi(v)
+			case ">", ">=":
+				tightenLo(v)
+			case "<", "<=":
+				tightenHi(v)
+			}
+		}
+	}
+	return lo, hi
+}
+
+// buildFrom constructs the source iterator and its schema for a FROM clause.
+func (db *DB) buildFrom(stmt *SelectStmt, params []Value) (rowIter, schema, error) {
+	if len(stmt.From) == 0 {
+		// SELECT without FROM evaluates over one empty row.
+		return &sliceIter{rows: [][]Value{{}}}, schema{}, nil
+	}
+	var iter rowIter
+	var sch schema
+	single := len(stmt.From) == 1
+	for i, item := range stmt.From {
+		rIter, rSchema, err := db.buildFromItem(item, stmt.Where, params, single)
+		if err != nil {
+			if iter != nil {
+				iter.close()
+			}
+			return nil, nil, err
+		}
+		if i == 0 {
+			iter, sch = rIter, rSchema
+			continue
+		}
+		// Materialise the right side.
+		rightRows, err := drain(rIter)
+		if err != nil {
+			iter.close()
+			return nil, nil, err
+		}
+		combined := append(append(schema{}, sch...), rSchema...)
+		switch item.Join {
+		case joinCross:
+			iter = &nestedLoopJoin{
+				left: iter, right: rightRows, kind: joinCross,
+				ev: &env{schema: combined, params: params, db: db}, rightLen: len(rSchema),
+			}
+		case joinLeft:
+			iter = &nestedLoopJoin{
+				left: iter, right: rightRows, kind: joinLeft, on: item.On,
+				ev: &env{schema: combined, params: params, db: db}, rightLen: len(rSchema),
+			}
+		default: // inner
+			leftKeys, rightKeys, residual := splitEquiJoin(item.On, sch, rSchema)
+			if len(leftKeys) > 0 {
+				buckets := make(map[string][][]Value, len(rightRows))
+				evRight := &env{schema: rSchema, params: params, db: db}
+				for _, r := range rightRows {
+					evRight.row = r
+					key, null, err := joinKey(rightKeys, evRight)
+					if err != nil {
+						iter.close()
+						return nil, nil, err
+					}
+					if null {
+						continue
+					}
+					buckets[key] = append(buckets[key], r)
+				}
+				iter = &hashJoin{
+					left: iter, buckets: buckets, leftKeys: leftKeys, residual: residual,
+					evLeft: &env{schema: sch, params: params, db: db},
+					evBoth: &env{schema: combined, params: params, db: db},
+				}
+			} else {
+				iter = &nestedLoopJoin{
+					left: iter, right: rightRows, kind: joinInner, on: item.On,
+					ev: &env{schema: combined, params: params, db: db}, rightLen: len(rSchema),
+				}
+			}
+		}
+		sch = combined
+	}
+	return iter, sch, nil
+}
+
+// buildFromItem produces the iterator for a single table or TVF reference.
+func (db *DB) buildFromItem(item FromItem, where Expr, params []Value, single bool) (rowIter, schema, error) {
+	alias := strings.ToLower(item.Alias)
+	if alias == "" {
+		alias = strings.ToLower(item.Table)
+	}
+	if item.IsTVF {
+		tvf, ok := db.tvf(item.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("sqldb: unknown table-valued function %s", item.Table)
+		}
+		ev := &env{params: params, db: db}
+		args := make([]Value, len(item.Args))
+		for i, a := range item.Args {
+			v, err := eval(a, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			args[i] = v
+		}
+		rows, err := tvf.Fn(args)
+		if err != nil {
+			return nil, nil, err
+		}
+		sch := make(schema, len(tvf.Cols))
+		for i, c := range tvf.Cols {
+			sch[i] = colMeta{alias: alias, name: c.Name}
+		}
+		return &sliceIter{rows: rows}, sch, nil
+	}
+	t, ok := db.Table(item.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("sqldb: unknown table %s", item.Table)
+	}
+	sch := make(schema, len(t.Cols))
+	for i, c := range t.Cols {
+		sch[i] = colMeta{alias: alias, name: c.Name}
+	}
+	lo, hi := rangeBounds(where, alias, t, params, single)
+	var cur *TableCursor
+	var err error
+	if lo.IsNull() && hi.IsNull() {
+		cur, err = t.Scan()
+	} else {
+		cur, err = t.RangeScan(lo, hi)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return &tableScanIter{c: cur}, sch, nil
+}
+
+// splitEquiJoin partitions an inner-join ON condition into hash keys and a
+// residual predicate. Returns empty keys when no usable equality exists.
+func splitEquiJoin(on Expr, left, right schema) (leftKeys, rightKeys []Expr, residual Expr) {
+	if on == nil {
+		return nil, nil, nil
+	}
+	var rest []Expr
+	for _, c := range conjuncts(on) {
+		b, ok := c.(*Binary)
+		if !ok || b.Op != "=" {
+			rest = append(rest, c)
+			continue
+		}
+		lSide := sideOf(b.L, left, right)
+		rSide := sideOf(b.R, left, right)
+		switch {
+		case lSide == 1 && rSide == 2:
+			leftKeys = append(leftKeys, b.L)
+			rightKeys = append(rightKeys, b.R)
+		case lSide == 2 && rSide == 1:
+			leftKeys = append(leftKeys, b.R)
+			rightKeys = append(rightKeys, b.L)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	residual = andAll(rest)
+	return leftKeys, rightKeys, residual
+}
+
+// sideOf classifies which input an expression's columns come from:
+// 0 none, 1 left, 2 right, 3 both/ambiguous.
+func sideOf(e Expr, left, right schema) int {
+	side := 0
+	walkExpr(e, func(x Expr) {
+		c, ok := x.(*ColumnRef)
+		if !ok {
+			return
+		}
+		_, lerr := left.resolve(c.Table, c.Name)
+		_, rerr := right.resolve(c.Table, c.Name)
+		switch {
+		case lerr == nil && rerr == nil:
+			side |= 3
+		case lerr == nil:
+			side |= 1
+		case rerr == nil:
+			side |= 2
+		default:
+			side |= 3 // unknown: be conservative
+		}
+	})
+	return side
+}
+
+func andAll(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &Binary{Op: "AND", L: out, R: e}
+		}
+	}
+	return out
+}
+
+func drain(it rowIter) ([][]Value, error) {
+	defer it.close()
+	var rows [][]Value
+	for {
+		r, err := it.next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return rows, nil
+		}
+		rows = append(rows, r)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT execution
+
+type projItem struct {
+	expr Expr
+	name string
+}
+
+// expandItems resolves stars against the source schema.
+func expandItems(items []SelectItem, sch schema) ([]projItem, error) {
+	var out []projItem
+	for i, item := range items {
+		if item.Star {
+			matched := false
+			for _, c := range sch {
+				if item.StarTable != "" && !strings.EqualFold(item.StarTable, c.alias) {
+					continue
+				}
+				out = append(out, projItem{
+					expr: &ColumnRef{Table: c.alias, Name: c.name},
+					name: c.name,
+				})
+				matched = true
+			}
+			if !matched {
+				return nil, fmt.Errorf("sqldb: %s.* matches no columns", item.StarTable)
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if c, ok := item.Expr.(*ColumnRef); ok {
+				name = c.Name
+			} else {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		out = append(out, projItem{expr: item.Expr, name: name})
+	}
+	return out, nil
+}
+
+// execSelect runs a SELECT and materialises the result.
+func (db *DB) execSelect(stmt *SelectStmt, params []Value) (*Rows, error) {
+	src, sch, err := db.buildFrom(stmt, params)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Where != nil {
+		src = &filterIter{src: src, pred: stmt.Where, ev: &env{schema: sch, params: params, db: db}}
+	}
+
+	items, err := expandItems(stmt.Items, sch)
+	if err != nil {
+		src.close()
+		return nil, err
+	}
+
+	// Static validation: unknown or ambiguous column references fail even
+	// when the input is empty.
+	var toCheck []Expr
+	for _, it := range items {
+		toCheck = append(toCheck, it.expr)
+	}
+	toCheck = append(toCheck, stmt.Where, stmt.Having)
+	toCheck = append(toCheck, stmt.GroupBy...)
+	if err := validateColumns(sch, toCheck); err != nil {
+		src.close()
+		return nil, err
+	}
+
+	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
+	for _, it := range items {
+		if hasAggregate(it.expr) {
+			aggregated = true
+		}
+	}
+	for _, o := range stmt.OrderBy {
+		if hasAggregate(o.Expr) {
+			aggregated = true
+		}
+	}
+
+	var result [][]Value
+	var orderKeys [][]Value
+	columns := make([]string, len(items))
+	for i, it := range items {
+		columns[i] = it.name
+	}
+
+	if aggregated {
+		result, orderKeys, err = db.execAggregate(stmt, items, src, sch, params)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		defer src.close()
+		ev := &env{schema: sch, params: params, db: db}
+		// ORDER BY items referencing projection aliases sort on the
+		// projected value; anything else evaluates in the source env.
+		aliasIdx := orderAliasIndexes(stmt.OrderBy, items)
+		for {
+			row, err := src.next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			ev.row = row
+			out := make([]Value, len(items))
+			for i, it := range items {
+				v, err := eval(it.expr, ev)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+			}
+			if len(stmt.OrderBy) > 0 {
+				keys := make([]Value, len(stmt.OrderBy))
+				for i, o := range stmt.OrderBy {
+					if ai := aliasIdx[i]; ai >= 0 {
+						keys[i] = out[ai]
+						continue
+					}
+					v, err := eval(o.Expr, ev)
+					if err != nil {
+						return nil, err
+					}
+					keys[i] = v
+				}
+				orderKeys = append(orderKeys, keys)
+			}
+			result = append(result, out)
+		}
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		result = sortRows(result, orderKeys, stmt.OrderBy)
+	}
+	if stmt.Distinct {
+		result = distinctRows(result)
+	}
+	if stmt.Limit >= 0 && int64(len(result)) > stmt.Limit {
+		result = result[:stmt.Limit]
+	}
+	return &Rows{Columns: columns, data: result}, nil
+}
+
+// orderAliasIndexes maps each ORDER BY item to a projection index when it is
+// a bare reference to a projection alias (or ordinal), else -1.
+func orderAliasIndexes(order []OrderItem, items []projItem) []int {
+	out := make([]int, len(order))
+	for i, o := range order {
+		out[i] = -1
+		if c, ok := o.Expr.(*ColumnRef); ok && c.Table == "" {
+			for j, it := range items {
+				if strings.EqualFold(it.name, c.Name) {
+					out[i] = j
+					break
+				}
+			}
+		}
+		if l, ok := o.Expr.(*Literal); ok && l.Val.T == TInt {
+			if n := int(l.Val.I); n >= 1 && n <= len(items) {
+				out[i] = n - 1
+			}
+		}
+	}
+	return out
+}
+
+// execAggregate evaluates grouped aggregation, returning result rows and
+// their order keys.
+func (db *DB) execAggregate(stmt *SelectStmt, items []projItem, src rowIter, sch schema, params []Value) ([][]Value, [][]Value, error) {
+	defer src.close()
+
+	// Rewrite aggregate calls into aggRef slots shared across the select
+	// list, HAVING, and ORDER BY.
+	var calls []*Call
+	rewritten := make([]Expr, len(items))
+	for i, it := range items {
+		rewritten[i] = rewriteAggs(it.expr, &calls)
+	}
+	having := rewriteAggs(stmt.Having, &calls)
+	orderExprs := make([]Expr, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		orderExprs[i] = rewriteAggs(o.Expr, &calls)
+	}
+
+	type group struct {
+		firstRow []Value
+		keyVals  []Value
+		aggs     []*aggState
+	}
+	groups := make(map[string]*group)
+	var orderOfGroups []string
+
+	ev := &env{schema: sch, params: params, db: db}
+	for {
+		row, err := src.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if row == nil {
+			break
+		}
+		ev.row = row
+		var sb strings.Builder
+		keyVals := make([]Value, len(stmt.GroupBy))
+		for i, g := range stmt.GroupBy {
+			v, err := eval(g, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			keyVals[i] = v
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0)
+		}
+		key := sb.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{firstRow: append([]Value(nil), row...), keyVals: keyVals}
+			for _, c := range calls {
+				grp.aggs = append(grp.aggs, newAggState(c))
+			}
+			groups[key] = grp
+			orderOfGroups = append(orderOfGroups, key)
+		}
+		for _, a := range grp.aggs {
+			if err := a.add(ev); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// A grand aggregate over zero rows still yields one group.
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		grp := &group{firstRow: make([]Value, len(sch))}
+		for i := range grp.firstRow {
+			grp.firstRow[i] = Null()
+		}
+		for _, c := range calls {
+			grp.aggs = append(grp.aggs, newAggState(c))
+		}
+		groups[""] = grp
+		orderOfGroups = append(orderOfGroups, "")
+	}
+
+	var result [][]Value
+	var orderKeys [][]Value
+	gev := &env{schema: sch, params: params, db: db}
+	for _, key := range orderOfGroups {
+		grp := groups[key]
+		gev.row = grp.firstRow
+		gev.aggs = make([]Value, len(grp.aggs))
+		for i, a := range grp.aggs {
+			gev.aggs[i] = a.result()
+		}
+		if having != nil {
+			v, err := eval(having, gev)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !v.AsBool() {
+				continue
+			}
+		}
+		out := make([]Value, len(rewritten))
+		for i, e := range rewritten {
+			v, err := eval(e, gev)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i] = v
+		}
+		if len(orderExprs) > 0 {
+			keys := make([]Value, len(orderExprs))
+			for i, e := range orderExprs {
+				v, err := eval(e, gev)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[i] = v
+			}
+			orderKeys = append(orderKeys, keys)
+		}
+		result = append(result, out)
+	}
+	return result, orderKeys, nil
+}
+
+// validateColumns resolves every column reference in the expressions
+// against the source schema, reporting the first unknown or ambiguous one.
+func validateColumns(sch schema, exprs []Expr) error {
+	var firstErr error
+	for _, e := range exprs {
+		walkExpr(e, func(x Expr) {
+			if firstErr != nil {
+				return
+			}
+			if c, ok := x.(*ColumnRef); ok {
+				if _, err := sch.resolve(c.Table, c.Name); err != nil {
+					firstErr = err
+				}
+			}
+		})
+	}
+	return firstErr
+}
+
+// sortRows orders result rows by their precomputed keys (stable).
+func sortRows(rows [][]Value, keys [][]Value, order []OrderItem) [][]Value {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i, o := range order {
+			c := CompareForSort(ka[i], kb[i])
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := make([][]Value, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}
+
+// distinctRows removes duplicate projected rows, keeping first occurrences.
+func distinctRows(rows [][]Value) [][]Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.GroupKey())
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

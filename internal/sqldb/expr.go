@@ -1,0 +1,513 @@
+package sqldb
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// colMeta names one column of an operator's output schema.
+type colMeta struct {
+	alias string // table alias (lowercased) or ""
+	name  string // column name (original case)
+}
+
+// schema is an ordered list of output columns.
+type schema []colMeta
+
+// resolve finds the index of a column reference. Unqualified names must be
+// unambiguous.
+func (s schema) resolve(table, name string) (int, error) {
+	table = strings.ToLower(table)
+	found := -1
+	for i, c := range s {
+		if !strings.EqualFold(c.name, name) {
+			continue
+		}
+		if table != "" && c.alias != table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sqldb: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, fmt.Errorf("sqldb: unknown column %s.%s", table, name)
+		}
+		return 0, fmt.Errorf("sqldb: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// aggRef replaces an aggregate Call during planning; it reads slot Idx of
+// the group's computed aggregate values.
+type aggRef struct{ Idx int }
+
+func (*aggRef) expr() {}
+
+// env is the evaluation context for one row.
+type env struct {
+	schema schema
+	row    []Value
+	params []Value
+	db     *DB
+	aggs   []Value // populated for post-aggregation evaluation
+}
+
+// eval computes an expression against the environment.
+func eval(e Expr, ev *env) (Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *Param:
+		if x.Index >= len(ev.params) {
+			return Value{}, fmt.Errorf("sqldb: statement needs at least %d parameters, got %d", x.Index+1, len(ev.params))
+		}
+		return ev.params[x.Index], nil
+	case *ColumnRef:
+		i, err := ev.schema.resolve(x.Table, x.Name)
+		if err != nil {
+			return Value{}, err
+		}
+		return ev.row[i], nil
+	case *aggRef:
+		return ev.aggs[x.Idx], nil
+	case *Unary:
+		return evalUnary(x, ev)
+	case *Binary:
+		return evalBinary(x, ev)
+	case *Between:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		lo, err := eval(x.Lo, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		hi, err := eval(x.Hi, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return Null(), nil
+		}
+		cLo, err := Compare(v, lo)
+		if err != nil {
+			return Value{}, err
+		}
+		cHi, err := Compare(v, hi)
+		if err != nil {
+			return Value{}, err
+		}
+		res := cLo >= 0 && cHi <= 0
+		if x.Not {
+			res = !res
+		}
+		return Bool(res), nil
+	case *InList:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if v.IsNull() {
+			return Null(), nil
+		}
+		sawNull := false
+		for _, item := range x.List {
+			iv, err := eval(item, ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if Equal(v, iv) {
+				return Bool(!x.Not), nil
+			}
+		}
+		if sawNull {
+			return Null(), nil
+		}
+		return Bool(x.Not), nil
+	case *IsNull:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Not {
+			return Bool(!v.IsNull()), nil
+		}
+		return Bool(v.IsNull()), nil
+	case *Call:
+		return evalCall(x, ev)
+	case *Case:
+		for _, w := range x.Whens {
+			c, err := eval(w.Cond, ev)
+			if err != nil {
+				return Value{}, err
+			}
+			if c.AsBool() {
+				return eval(w.Result, ev)
+			}
+		}
+		if x.Else != nil {
+			return eval(x.Else, ev)
+		}
+		return Null(), nil
+	case *Cast:
+		v, err := eval(x.X, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		return castValue(v, x.To)
+	}
+	return Value{}, fmt.Errorf("sqldb: cannot evaluate %T", e)
+}
+
+func evalUnary(x *Unary, ev *env) (Value, error) {
+	v, err := eval(x.X, ev)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "-":
+		switch v.T {
+		case TNull:
+			return Null(), nil
+		case TInt:
+			return Int(-v.I), nil
+		case TFloat:
+			return Float(-v.F), nil
+		}
+		return Value{}, fmt.Errorf("sqldb: cannot negate %s", v.T)
+	case "NOT":
+		if v.IsNull() {
+			return Null(), nil
+		}
+		if v.T != TBool {
+			return Value{}, fmt.Errorf("sqldb: NOT applied to %s", v.T)
+		}
+		return Bool(!v.B), nil
+	}
+	return Value{}, fmt.Errorf("sqldb: unknown unary operator %q", x.Op)
+}
+
+func evalBinary(x *Binary, ev *env) (Value, error) {
+	// AND/OR implement three-valued logic with short-circuiting.
+	if x.Op == "AND" || x.Op == "OR" {
+		l, err := eval(x.L, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == "AND" && l.T == TBool && !l.B {
+			return Bool(false), nil
+		}
+		if x.Op == "OR" && l.T == TBool && l.B {
+			return Bool(true), nil
+		}
+		r, err := eval(x.R, ev)
+		if err != nil {
+			return Value{}, err
+		}
+		if x.Op == "AND" {
+			if r.T == TBool && !r.B {
+				return Bool(false), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return Null(), nil
+			}
+			return Bool(l.AsBool() && r.AsBool()), nil
+		}
+		if r.T == TBool && r.B {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(l.AsBool() || r.AsBool()), nil
+	}
+
+	l, err := eval(x.L, ev)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := eval(x.R, ev)
+	if err != nil {
+		return Value{}, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		c, err := Compare(l, r)
+		if err != nil {
+			return Value{}, err
+		}
+		switch x.Op {
+		case "=":
+			return Bool(c == 0), nil
+		case "<>":
+			return Bool(c != 0), nil
+		case "<":
+			return Bool(c < 0), nil
+		case "<=":
+			return Bool(c <= 0), nil
+		case ">":
+			return Bool(c > 0), nil
+		case ">=":
+			return Bool(c >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		return evalArith(x.Op, l, r)
+	case "||":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return String(l.String() + r.String()), nil
+	case "LIKE":
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		if l.T != TString || r.T != TString {
+			return Value{}, fmt.Errorf("sqldb: LIKE requires strings")
+		}
+		return Bool(likeMatch(l.S, r.S)), nil
+	}
+	return Value{}, fmt.Errorf("sqldb: unknown operator %q", x.Op)
+}
+
+func evalArith(op string, l, r Value) (Value, error) {
+	if l.IsNull() || r.IsNull() {
+		return Null(), nil
+	}
+	if !isNumeric(l.T) || !isNumeric(r.T) {
+		return Value{}, fmt.Errorf("sqldb: arithmetic on %s and %s", l.T, r.T)
+	}
+	// Integer arithmetic stays integral, except / which follows T-SQL
+	// integer division only when both sides are ints.
+	if l.T == TInt && r.T == TInt {
+		switch op {
+		case "+":
+			return Int(l.I + r.I), nil
+		case "-":
+			return Int(l.I - r.I), nil
+		case "*":
+			return Int(l.I * r.I), nil
+		case "/":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("sqldb: division by zero")
+			}
+			return Int(l.I / r.I), nil
+		case "%":
+			if r.I == 0 {
+				return Value{}, fmt.Errorf("sqldb: modulo by zero")
+			}
+			return Int(l.I % r.I), nil
+		}
+	}
+	lf, _ := l.AsFloat()
+	rf, _ := r.AsFloat()
+	switch op {
+	case "+":
+		return Float(lf + rf), nil
+	case "-":
+		return Float(lf - rf), nil
+	case "*":
+		return Float(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sqldb: division by zero")
+		}
+		return Float(lf / rf), nil
+	case "%":
+		if rf == 0 {
+			return Value{}, fmt.Errorf("sqldb: modulo by zero")
+		}
+		return Float(math.Mod(lf, rf)), nil
+	}
+	return Value{}, fmt.Errorf("sqldb: unknown arithmetic operator %q", op)
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(s, pattern string) bool {
+	// Dynamic-programming match over bytes.
+	n, m := len(s), len(pattern)
+	prev := make([]bool, n+1)
+	cur := make([]bool, n+1)
+	prev[0] = true
+	for j := 1; j <= m; j++ {
+		pc := pattern[j-1]
+		cur[0] = prev[0] && pc == '%'
+		for i := 1; i <= n; i++ {
+			switch pc {
+			case '%':
+				cur[i] = cur[i-1] || prev[i]
+			case '_':
+				cur[i] = prev[i-1]
+			default:
+				cur[i] = prev[i-1] && s[i-1] == pc
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n]
+}
+
+func castValue(v Value, to Type) (Value, error) {
+	if v.IsNull() {
+		return Null(), nil
+	}
+	switch to {
+	case TInt:
+		switch v.T {
+		case TInt:
+			return v, nil
+		case TFloat:
+			return Int(int64(v.F)), nil
+		case TString:
+			var i int64
+			if _, err := fmt.Sscanf(strings.TrimSpace(v.S), "%d", &i); err != nil {
+				return Value{}, fmt.Errorf("sqldb: cannot cast %q to integer", v.S)
+			}
+			return Int(i), nil
+		case TBool:
+			if v.B {
+				return Int(1), nil
+			}
+			return Int(0), nil
+		}
+	case TFloat:
+		switch v.T {
+		case TInt:
+			return Float(float64(v.I)), nil
+		case TFloat:
+			return v, nil
+		case TString:
+			var f float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(v.S), "%g", &f); err != nil {
+				return Value{}, fmt.Errorf("sqldb: cannot cast %q to float", v.S)
+			}
+			return Float(f), nil
+		}
+	case TString:
+		return String(v.String()), nil
+	case TBool:
+		switch v.T {
+		case TBool:
+			return v, nil
+		case TInt:
+			return Bool(v.I != 0), nil
+		}
+	}
+	return Value{}, fmt.Errorf("sqldb: cannot cast %s to %s", v.T, to)
+}
+
+// walkExpr visits e and its children (pre-order).
+func walkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Unary:
+		walkExpr(x.X, fn)
+	case *Binary:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *Between:
+		walkExpr(x.X, fn)
+		walkExpr(x.Lo, fn)
+		walkExpr(x.Hi, fn)
+	case *InList:
+		walkExpr(x.X, fn)
+		for _, i := range x.List {
+			walkExpr(i, fn)
+		}
+	case *IsNull:
+		walkExpr(x.X, fn)
+	case *Call:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *Case:
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Result, fn)
+		}
+		walkExpr(x.Else, fn)
+	case *Cast:
+		walkExpr(x.X, fn)
+	}
+}
+
+// rewriteAggs replaces aggregate calls in e with aggRef nodes, appending
+// each distinct call to *calls. Returns the rewritten expression.
+func rewriteAggs(e Expr, calls *[]*Call) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Call:
+		if isAggregate(x.Name) {
+			for i, c := range *calls {
+				if c == x {
+					return &aggRef{Idx: i}
+				}
+			}
+			*calls = append(*calls, x)
+			return &aggRef{Idx: len(*calls) - 1}
+		}
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewriteAggs(a, calls)
+		}
+		return &Call{Name: x.Name, Args: args, Star: x.Star}
+	case *Unary:
+		return &Unary{Op: x.Op, X: rewriteAggs(x.X, calls)}
+	case *Binary:
+		return &Binary{Op: x.Op, L: rewriteAggs(x.L, calls), R: rewriteAggs(x.R, calls)}
+	case *Between:
+		return &Between{X: rewriteAggs(x.X, calls), Lo: rewriteAggs(x.Lo, calls), Hi: rewriteAggs(x.Hi, calls), Not: x.Not}
+	case *InList:
+		list := make([]Expr, len(x.List))
+		for i, it := range x.List {
+			list[i] = rewriteAggs(it, calls)
+		}
+		return &InList{X: rewriteAggs(x.X, calls), List: list, Not: x.Not}
+	case *IsNull:
+		return &IsNull{X: rewriteAggs(x.X, calls), Not: x.Not}
+	case *Case:
+		whens := make([]When, len(x.Whens))
+		for i, w := range x.Whens {
+			whens[i] = When{Cond: rewriteAggs(w.Cond, calls), Result: rewriteAggs(w.Result, calls)}
+		}
+		return &Case{Whens: whens, Else: rewriteAggs(x.Else, calls)}
+	case *Cast:
+		return &Cast{X: rewriteAggs(x.X, calls), To: x.To}
+	}
+	return e
+}
+
+// hasAggregate reports whether e contains an aggregate function call.
+func hasAggregate(e Expr) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		if c, ok := x.(*Call); ok && isAggregate(c.Name) {
+			found = true
+		}
+	})
+	return found
+}
+
+func isAggregate(name string) bool {
+	switch strings.ToUpper(name) {
+	case "COUNT", "SUM", "MIN", "MAX", "AVG":
+		return true
+	}
+	return false
+}

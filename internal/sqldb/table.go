@@ -1,0 +1,447 @@
+package sqldb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Column describes one column of a stored table.
+type Column struct {
+	Name     string
+	Type     Type
+	Identity bool
+}
+
+// Table is a stored table: rows live in a B+tree ordered by the clustered
+// key (the declared PRIMARY KEY, a CREATE CLUSTERED INDEX key, or an
+// implicit insertion-ordered rowid). Non-unique clustered keys get a rowid
+// suffix so equal keys coexist.
+type Table struct {
+	Name    string
+	Cols    []Column
+	KeyCols []int // indexes into Cols forming the clustered key; empty = rowid heap
+	Unique  bool  // true only for PRIMARY KEY storage (no rowid suffix)
+
+	mu           sync.Mutex
+	tree         *storage.BTree
+	pool         *storage.Pool
+	rows         int64
+	nextRowID    int64
+	nextIdentity int64
+}
+
+func newTable(pool *storage.Pool, name string, cols []Column, keyCols []int, unique bool) (*Table, error) {
+	tree, err := storage.NewBTree(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		Name: name, Cols: cols, KeyCols: keyCols, Unique: unique,
+		tree: tree, pool: pool, nextRowID: 1, nextIdentity: 1,
+	}, nil
+}
+
+// ColIndex returns the index of the named column (case-insensitive), or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rows
+}
+
+// encodeKey builds the clustered key for a row. Each key column is encoded
+// with a null marker so NULLs order first; non-unique keys append the rowid.
+func (t *Table) encodeKey(row []Value, rowid int64) ([]byte, error) {
+	key := make([]byte, 0, 32)
+	for _, ci := range t.KeyCols {
+		v := row[ci]
+		if v.IsNull() {
+			key = append(key, 0)
+			continue
+		}
+		key = append(key, 1)
+		switch t.Cols[ci].Type {
+		case TInt:
+			iv, err := v.AsInt()
+			if err != nil {
+				return nil, err
+			}
+			key = storage.AppendInt64(key, iv)
+		case TFloat:
+			fv, err := v.AsFloat()
+			if err != nil {
+				return nil, err
+			}
+			key = storage.AppendFloat64(key, fv)
+		case TString:
+			key = storage.AppendString(key, v.S)
+		case TBool:
+			key = storage.AppendBool(key, v.B)
+		default:
+			return nil, fmt.Errorf("sqldb: cannot key column of type %s", t.Cols[ci].Type)
+		}
+	}
+	if !t.Unique || len(t.KeyCols) == 0 {
+		key = storage.AppendInt64(key, rowid)
+	}
+	return key, nil
+}
+
+// keyPrefixFor encodes a bound on the leading key column for range scans.
+func (t *Table) keyPrefixFor(v Value) ([]byte, error) {
+	return t.keyPrefixForVals([]Value{v})
+}
+
+// keyPrefixForVals encodes bounds on the leading len(vals) key columns.
+func (t *Table) keyPrefixForVals(vals []Value) ([]byte, error) {
+	if len(t.KeyCols) < len(vals) {
+		return nil, fmt.Errorf("sqldb: table %s clustered key has %d columns, prefix needs %d",
+			t.Name, len(t.KeyCols), len(vals))
+	}
+	var key []byte
+	for i, v := range vals {
+		ci := t.KeyCols[i]
+		key = append(key, 1)
+		switch t.Cols[ci].Type {
+		case TInt:
+			iv, err := v.AsInt()
+			if err != nil {
+				return nil, err
+			}
+			key = storage.AppendInt64(key, iv)
+		case TFloat:
+			fv, err := v.AsFloat()
+			if err != nil {
+				return nil, err
+			}
+			key = storage.AppendFloat64(key, fv)
+		case TString:
+			key = storage.AppendString(key, v.S)
+		default:
+			return nil, fmt.Errorf("sqldb: unsupported range-scan key type %s", t.Cols[ci].Type)
+		}
+	}
+	return key, nil
+}
+
+// encodeRow serialises all columns: a null bitmap followed by the non-null
+// values (zigzag varint ints, 8-byte floats, uvarint-length strings,
+// 1-byte bools).
+func encodeRow(cols []Column, row []Value) ([]byte, error) {
+	if len(row) != len(cols) {
+		return nil, fmt.Errorf("sqldb: row has %d values for %d columns", len(row), len(cols))
+	}
+	nb := (len(cols) + 7) / 8
+	buf := make([]byte, nb, nb+len(cols)*8)
+	for i, v := range row {
+		if v.IsNull() {
+			buf[i/8] |= 1 << (i % 8)
+		}
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		v, err := v.CoerceTo(cols[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: column %s: %w", cols[i].Name, err)
+		}
+		switch cols[i].Type {
+		case TInt:
+			n := binary.PutVarint(scratch[:], v.I)
+			buf = append(buf, scratch[:n]...)
+		case TFloat:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+			buf = append(buf, b[:]...)
+		case TString:
+			n := binary.PutUvarint(scratch[:], uint64(len(v.S)))
+			buf = append(buf, scratch[:n]...)
+			buf = append(buf, v.S...)
+		case TBool:
+			if v.B {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		default:
+			return nil, fmt.Errorf("sqldb: cannot store type %s", cols[i].Type)
+		}
+	}
+	return buf, nil
+}
+
+// decodeRow reverses encodeRow.
+func decodeRow(cols []Column, data []byte) ([]Value, error) {
+	row := make([]Value, len(cols))
+	if err := decodeRowInto(cols, data, row); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// decodeRowInto reverses encodeRow into a caller-owned buffer, avoiding the
+// per-row allocation in scan loops.
+func decodeRowInto(cols []Column, data []byte, row []Value) error {
+	nb := (len(cols) + 7) / 8
+	if len(data) < nb {
+		return fmt.Errorf("sqldb: row data shorter than null bitmap")
+	}
+	pos := nb
+	for i, c := range cols {
+		if data[i/8]&(1<<(i%8)) != 0 {
+			row[i] = Null()
+			continue
+		}
+		switch c.Type {
+		case TInt:
+			v, n := binary.Varint(data[pos:])
+			if n <= 0 {
+				return fmt.Errorf("sqldb: corrupt int in column %s", c.Name)
+			}
+			pos += n
+			row[i] = Int(v)
+		case TFloat:
+			if pos+8 > len(data) {
+				return fmt.Errorf("sqldb: corrupt float in column %s", c.Name)
+			}
+			row[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])))
+			pos += 8
+		case TString:
+			l, n := binary.Uvarint(data[pos:])
+			if n <= 0 || pos+n+int(l) > len(data) {
+				return fmt.Errorf("sqldb: corrupt string in column %s", c.Name)
+			}
+			pos += n
+			row[i] = String(string(data[pos : pos+int(l)]))
+			pos += int(l)
+		case TBool:
+			if pos >= len(data) {
+				return fmt.Errorf("sqldb: corrupt bool in column %s", c.Name)
+			}
+			row[i] = Bool(data[pos] != 0)
+			pos++
+		}
+	}
+	return nil
+}
+
+// Insert adds a row (values in schema order; Identity columns auto-fill
+// when NULL). It enforces PRIMARY KEY uniqueness.
+func (t *Table) Insert(row []Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("sqldb: INSERT into %s has %d values for %d columns", t.Name, len(row), len(t.Cols))
+	}
+	vals := make([]Value, len(row))
+	copy(vals, row)
+	for i, c := range t.Cols {
+		if c.Identity && vals[i].IsNull() {
+			vals[i] = Int(t.nextIdentity)
+			t.nextIdentity++
+		}
+		var err error
+		vals[i], err = vals[i].CoerceTo(c.Type)
+		if err != nil {
+			return fmt.Errorf("sqldb: table %s column %s: %w", t.Name, c.Name, err)
+		}
+	}
+	rowid := t.nextRowID
+	t.nextRowID++
+	key, err := t.encodeKey(vals, rowid)
+	if err != nil {
+		return err
+	}
+	if t.Unique {
+		if _, exists, err := t.tree.Get(key); err != nil {
+			return err
+		} else if exists {
+			return fmt.Errorf("sqldb: duplicate primary key in table %s", t.Name)
+		}
+	}
+	data, err := encodeRow(t.Cols, vals)
+	if err != nil {
+		return err
+	}
+	if err := t.tree.Insert(key, data); err != nil {
+		return err
+	}
+	t.rows++
+	return nil
+}
+
+// TableCursor streams rows in clustered-key order.
+type TableCursor struct {
+	table  *Table
+	cur    *storage.Cursor
+	endKey []byte // scan stops when key prefix exceeds endKey (inclusive bound)
+	row    []Value
+	err    error
+}
+
+// Scan returns a cursor over the whole table.
+func (t *Table) Scan() (*TableCursor, error) {
+	c, err := t.tree.First()
+	if err != nil {
+		return nil, err
+	}
+	return &TableCursor{table: t, cur: c}, nil
+}
+
+// RangeScan returns a cursor over rows whose leading clustered-key column is
+// within [lo, hi] (either bound may be omitted by passing a NULL Value).
+func (t *Table) RangeScan(lo, hi Value) (*TableCursor, error) {
+	var start []byte
+	if !lo.IsNull() {
+		p, err := t.keyPrefixFor(lo)
+		if err != nil {
+			return nil, err
+		}
+		start = p
+	}
+	var end []byte
+	if !hi.IsNull() {
+		p, err := t.keyPrefixFor(hi)
+		if err != nil {
+			return nil, err
+		}
+		end = p
+	}
+	c, err := t.tree.Seek(start)
+	if err != nil {
+		return nil, err
+	}
+	return &TableCursor{table: t, cur: c, endKey: end}, nil
+}
+
+// RangeScanPrefix returns a cursor over rows whose leading clustered-key
+// columns fall within [lo, hi] componentwise: the zone join's
+// (zoneID = z AND ra BETWEEN a-x AND a+x) access path.
+func (t *Table) RangeScanPrefix(lo, hi []Value) (*TableCursor, error) {
+	start, err := t.keyPrefixForVals(lo)
+	if err != nil {
+		return nil, err
+	}
+	end, err := t.keyPrefixForVals(hi)
+	if err != nil {
+		return nil, err
+	}
+	c, err := t.tree.Seek(start)
+	if err != nil {
+		return nil, err
+	}
+	return &TableCursor{table: t, cur: c, endKey: end}, nil
+}
+
+// Next advances and reports whether a row is available via Row.
+func (c *TableCursor) Next() bool {
+	if c.err != nil || !c.cur.Valid() {
+		return false
+	}
+	key := c.cur.Key()
+	if c.endKey != nil {
+		// Stop once the key's prefix exceeds the inclusive end bound.
+		prefix := key
+		if len(prefix) > len(c.endKey) {
+			prefix = prefix[:len(c.endKey)]
+		}
+		if string(prefix) > string(c.endKey) {
+			return false
+		}
+	}
+	if c.row == nil {
+		c.row = make([]Value, len(c.table.Cols))
+	}
+	if err := decodeRowInto(c.table.Cols, c.cur.Value(), c.row); err != nil {
+		c.err = err
+		return false
+	}
+	c.err = c.cur.Next()
+	return true
+}
+
+// Row returns the current row. The slice is reused by the next call to
+// Next; callers that retain rows must copy them.
+func (c *TableCursor) Row() []Value { return c.row }
+
+// Err returns the first error encountered.
+func (c *TableCursor) Err() error { return c.err }
+
+// Close releases the cursor.
+func (c *TableCursor) Close() { c.cur.Close() }
+
+// Truncate removes all rows (a fresh tree; old pages are abandoned, as this
+// engine has no free-space reuse).
+func (t *Table) Truncate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tree, err := storage.NewBTree(t.pool)
+	if err != nil {
+		return err
+	}
+	t.tree = tree
+	t.rows = 0
+	t.nextRowID = 1
+	t.nextIdentity = 1
+	return nil
+}
+
+// ReplaceAll atomically swaps the table contents for the given rows; used
+// by UPDATE/DELETE rewrites and CREATE CLUSTERED INDEX rebuilds.
+func (t *Table) ReplaceAll(rows [][]Value) error {
+	if err := t.Truncate(); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recluster rebuilds the table ordered by the named key columns (CREATE
+// CLUSTERED INDEX). The new key is non-unique (rowid suffix).
+func (t *Table) Recluster(keyCols []string) error {
+	idx := make([]int, len(keyCols))
+	for i, name := range keyCols {
+		ci := t.ColIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("sqldb: no column %q in table %s", name, t.Name)
+		}
+		idx[i] = ci
+	}
+	var rows [][]Value
+	c, err := t.Scan()
+	if err != nil {
+		return err
+	}
+	for c.Next() {
+		rows = append(rows, append([]Value(nil), c.Row()...))
+	}
+	c.Close()
+	if err := c.Err(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.KeyCols = idx
+	t.Unique = false
+	t.mu.Unlock()
+	return t.ReplaceAll(rows)
+}

@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func newTestTree(t *testing.T, frames int) (*BTree, *Pool) {
+	t.Helper()
+	pool := NewPool(NewMemStore(), frames)
+	tr, err := NewBTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, pool
+}
+
+func TestBTreeBasic(t *testing.T) {
+	tr, _ := newTestTree(t, 16)
+	if err := tr.Insert([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get([]byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := tr.Get([]byte("nope")); ok {
+		t.Error("found a missing key")
+	}
+	// Upsert replaces.
+	if err := tr.Insert([]byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = tr.Get([]byte("k1"))
+	if string(v) != "v2" {
+		t.Errorf("after upsert Get = %q", v)
+	}
+	if n, _ := tr.Len(); n != 1 {
+		t.Errorf("Len = %d after upsert", n)
+	}
+}
+
+func TestBTreeRejectsBadRecords(t *testing.T) {
+	tr, _ := newTestTree(t, 16)
+	if err := tr.Insert(nil, []byte("v")); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := tr.Insert([]byte("k"), make([]byte, MaxRecordSize)); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+func TestBTreeManyKeysOrderedScan(t *testing.T) {
+	tr, _ := newTestTree(t, 64)
+	const n = 20000
+	perm := rand.New(rand.NewSource(5)).Perm(n)
+	for _, i := range perm {
+		key := AppendInt64(nil, int64(i))
+		val := []byte(fmt.Sprintf("value-%d", i))
+		if err := tr.Insert(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full scan must return all keys in order.
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < n; i++ {
+		if !c.Valid() {
+			t.Fatalf("cursor exhausted at %d of %d", i, n)
+		}
+		k, _, err := DecodeInt64(c.Key())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k != int64(i) {
+			t.Fatalf("scan position %d has key %d", i, k)
+		}
+		if want := fmt.Sprintf("value-%d", i); string(c.Value()) != want {
+			t.Fatalf("key %d value %q, want %q", i, c.Value(), want)
+		}
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Valid() {
+		t.Error("cursor has extra records past n")
+	}
+}
+
+func TestBTreeSeek(t *testing.T) {
+	tr, _ := newTestTree(t, 64)
+	for i := 0; i < 1000; i += 2 { // even keys only
+		if err := tr.Insert(AppendInt64(nil, int64(i)), []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		c, err := tr.Seek(AppendInt64(nil, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(i)
+		if i%2 == 1 {
+			want = int64(i + 1)
+		}
+		if want >= 1000 {
+			if c.Valid() {
+				t.Fatalf("Seek(%d) should be exhausted", i)
+			}
+		} else {
+			k, _, _ := DecodeInt64(c.Key())
+			if k != want {
+				t.Fatalf("Seek(%d) landed on %d, want %d", i, k, want)
+			}
+		}
+		c.Close()
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr, _ := newTestTree(t, 64)
+	for i := 0; i < 500; i++ {
+		tr.Insert(AppendInt64(nil, int64(i)), []byte("x"))
+	}
+	for i := 0; i < 500; i += 3 {
+		ok, err := tr.Delete(AppendInt64(nil, int64(i)))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", i, ok, err)
+		}
+	}
+	if ok, _ := tr.Delete(AppendInt64(nil, 0)); ok {
+		t.Error("second delete of the same key reported found")
+	}
+	for i := 0; i < 500; i++ {
+		_, ok, _ := tr.Get(AppendInt64(nil, int64(i)))
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("after delete, Get(%d) present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+// TestBTreeOracle drives random upserts/deletes and compares against a map,
+// then verifies a full ordered scan, with a tiny pool to force eviction.
+func TestBTreeOracle(t *testing.T) {
+	tr, pool := newTestTree(t, 8)
+	oracle := map[string]string{}
+	rng := rand.New(rand.NewSource(99))
+	for op := 0; op < 30000; op++ {
+		k := fmt.Sprintf("key-%05d", rng.Intn(5000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := fmt.Sprintf("val-%d", op)
+			if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = v
+		case 2:
+			ok, err := tr.Delete([]byte(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, inOracle := oracle[k]
+			if ok != inOracle {
+				t.Fatalf("delete %q found=%v oracle=%v", k, ok, inOracle)
+			}
+			delete(oracle, k)
+		}
+	}
+	// Point queries.
+	for k, v := range oracle {
+		got, ok, err := tr.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%q) = %q, %v, %v; want %q", k, got, ok, err, v)
+		}
+	}
+	// Ordered scan equals sorted oracle.
+	keys := make([]string, 0, len(oracle))
+	for k := range oracle {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, k := range keys {
+		if !c.Valid() {
+			t.Fatalf("cursor exhausted before %q", k)
+		}
+		if string(c.Key()) != k {
+			t.Fatalf("scan got %q, want %q", c.Key(), k)
+		}
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Valid() {
+		t.Errorf("scan has extra key %q", c.Key())
+	}
+	// Eviction must have happened with only 8 frames.
+	if s := pool.Stats(); s.PhysicalWrites == 0 {
+		t.Error("expected physical writes from eviction with an 8-frame pool")
+	}
+}
+
+func TestBTreePersistsThroughFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tree.db")
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(store, 16)
+	tr, err := NewBTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(AppendInt64(nil, int64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := tr.Root()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and read back.
+	store2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	pool2 := NewPool(store2, 16)
+	tr2 := OpenBTree(pool2, root)
+	for _, i := range []int64{0, 1, 1500, 2999} {
+		v, ok, err := tr2.Get(AppendInt64(nil, i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after reopen Get(%d) = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	if n, _ := tr2.Len(); n != 3000 {
+		t.Errorf("after reopen Len = %d", n)
+	}
+}
+
+func TestBTreeCompositeKeyOrdering(t *testing.T) {
+	// (zoneID int64, ra float64) composite keys must scan in (zone, ra)
+	// order — this is the clustered order spZone builds.
+	tr, _ := newTestTree(t, 32)
+	type zr struct {
+		zone int64
+		ra   float64
+	}
+	var want []zr
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		e := zr{zone: int64(rng.Intn(20)), ra: float64(rng.Intn(100000)) / 100}
+		key := AppendInt64(nil, e.zone)
+		key = AppendFloat64(key, e.ra)
+		key = AppendInt64(key, int64(i)) // objid tiebreak
+		if err := tr.Insert(key, []byte{}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, e)
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].zone != want[j].zone {
+			return want[i].zone < want[j].zone
+		}
+		return want[i].ra < want[j].ra
+	})
+	c, err := tr.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; c.Valid(); i++ {
+		zone, rest, _ := DecodeInt64(c.Key())
+		ra, _, _ := DecodeFloat64(rest)
+		if zone != want[i].zone || ra != want[i].ra {
+			t.Fatalf("position %d: (%d, %g), want (%d, %g)", i, zone, ra, want[i].zone, want[i].ra)
+		}
+		if err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBTreeLargeValuesForceSplits(t *testing.T) {
+	tr, _ := newTestTree(t, 32)
+	val := bytes.Repeat([]byte("x"), 1500)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(AppendInt64(nil, int64(i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := tr.Len(); n != 200 {
+		t.Fatalf("Len = %d", n)
+	}
+	for i := 0; i < 200; i++ {
+		v, ok, err := tr.Get(AppendInt64(nil, int64(i)))
+		if err != nil || !ok || len(v) != 1500 {
+			t.Fatalf("Get(%d) after splits: ok=%v len=%d err=%v", i, ok, len(v), err)
+		}
+	}
+}

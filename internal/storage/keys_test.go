@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64KeyOrderProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := AppendInt64(nil, a)
+		kb := AppendInt64(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInt64KeyRoundTripProperty(t *testing.T) {
+	f := func(a int64) bool {
+		v, rest, err := DecodeInt64(AppendInt64(nil, a))
+		return err == nil && v == a && len(rest) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64KeyOrderProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := AppendFloat64(nil, a)
+		kb := AppendFloat64(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0 || a == 0 && b == 0 // -0.0 vs +0.0 differ in bits
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64KeyRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.5, -273.15, 1e300, -1e300, math.Inf(1), math.Inf(-1), 195.163} {
+		got, rest, err := DecodeFloat64(AppendFloat64(nil, v))
+		if err != nil || got != v || len(rest) != 0 {
+			t.Errorf("round trip %g -> %g (err %v)", v, got, err)
+		}
+	}
+}
+
+func TestStringKeyOrderProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := AppendString(nil, a)
+		kb := AppendString(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		want := bytes.Compare([]byte(a), []byte(b))
+		return sign(cmp) == sign(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringKeyRoundTrip(t *testing.T) {
+	cases := []string{"", "a", "abc", "with\x00null", "\x00", "\x00\x00", "trailing\x00", "ünïcodé"}
+	for _, s := range cases {
+		got, rest, err := DecodeString(AppendString(nil, s))
+		if err != nil || got != s || len(rest) != 0 {
+			t.Errorf("round trip %q -> %q (err %v, rest %d)", s, got, err, len(rest))
+		}
+	}
+}
+
+func TestStringKeySelfDelimiting(t *testing.T) {
+	// A composite (string, int64) key must decode unambiguously.
+	key := AppendString(nil, "zone\x00x")
+	key = AppendInt64(key, 42)
+	s, rest, err := DecodeString(key)
+	if err != nil || s != "zone\x00x" {
+		t.Fatalf("DecodeString = %q, %v", s, err)
+	}
+	v, rest, err := DecodeInt64(rest)
+	if err != nil || v != 42 || len(rest) != 0 {
+		t.Fatalf("DecodeInt64 = %d, %v", v, err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeInt64([]byte{1, 2}); err == nil {
+		t.Error("short int64 key accepted")
+	}
+	if _, _, err := DecodeFloat64([]byte{1}); err == nil {
+		t.Error("short float64 key accepted")
+	}
+	if _, _, err := DecodeString([]byte("no terminator")); err == nil {
+		t.Error("unterminated string key accepted")
+	}
+	if _, _, err := DecodeString([]byte{0x00, 0x07}); err == nil {
+		t.Error("bad escape accepted")
+	}
+	if _, _, err := DecodeBool(nil); err == nil {
+		t.Error("short bool key accepted")
+	}
+}
+
+func TestBoolKey(t *testing.T) {
+	kf := AppendBool(nil, false)
+	kt := AppendBool(nil, true)
+	if bytes.Compare(kf, kt) >= 0 {
+		t.Error("false must sort before true")
+	}
+	b, rest, err := DecodeBool(kt)
+	if err != nil || !b || len(rest) != 0 {
+		t.Error("bool round trip failed")
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSlottedInsertAndRead(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitSlotted(buf, 5)
+	recs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	for i, r := range recs {
+		slot, ok := p.Insert(r)
+		if !ok || slot != i {
+			t.Fatalf("insert %d: slot %d ok %v", i, slot, ok)
+		}
+	}
+	for i, r := range recs {
+		if got := p.Record(i); !bytes.Equal(got, r) {
+			t.Errorf("record %d = %q, want %q", i, got, r)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlottedInsertAtOrdering(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitSlotted(buf, 0)
+	p.Insert([]byte("b"))
+	p.Insert([]byte("d"))
+	if !p.InsertAt(0, []byte("a")) {
+		t.Fatal("InsertAt(0) failed")
+	}
+	if !p.InsertAt(2, []byte("c")) {
+		t.Fatal("InsertAt(2) failed")
+	}
+	want := []string{"a", "b", "c", "d"}
+	for i, w := range want {
+		if got := string(p.Record(i)); got != w {
+			t.Errorf("slot %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestSlottedFull(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitSlotted(buf, 5)
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if _, ok := p.Insert(rec); !ok {
+			break
+		}
+		n++
+	}
+	// 8192-ish bytes / (100 + 4 slot bytes) ~ 78 records.
+	if n < 70 || n > 85 {
+		t.Errorf("page held %d 100-byte records", n)
+	}
+	if p.FreeSpace() >= 104 {
+		t.Errorf("page claims %d free after fill", p.FreeSpace())
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlottedDeleteCompact(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitSlotted(buf, 0)
+	for i := 0; i < 10; i++ {
+		p.Insert([]byte(fmt.Sprintf("record-%02d", i)))
+	}
+	p.Delete(3)
+	p.Delete(7)
+	if p.Record(3) != nil || p.Record(7) != nil {
+		t.Fatal("deleted slots still return data")
+	}
+	before := p.FreeSpace()
+	p.Compact()
+	after := p.FreeSpace()
+	if after <= before {
+		t.Errorf("compact did not reclaim space: %d -> %d", before, after)
+	}
+	// Live slots unchanged.
+	for _, i := range []int{0, 1, 2, 4, 5, 6, 8, 9} {
+		want := fmt.Sprintf("record-%02d", i)
+		if got := string(p.Record(i)); got != want {
+			t.Errorf("slot %d = %q after compact, want %q", i, got, want)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlottedRemoveAt(t *testing.T) {
+	buf := make([]byte, PageSize)
+	p := InitSlotted(buf, 0)
+	for _, s := range []string{"a", "b", "c"} {
+		p.Insert([]byte(s))
+	}
+	p.RemoveAt(1)
+	if p.NumSlots() != 2 {
+		t.Fatalf("NumSlots = %d", p.NumSlots())
+	}
+	if string(p.Record(0)) != "a" || string(p.Record(1)) != "c" {
+		t.Errorf("RemoveAt left %q, %q", p.Record(0), p.Record(1))
+	}
+}

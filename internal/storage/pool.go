@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats counts buffer-pool activity. LogicalReads counts every page fetch;
+// PhysicalReads counts the subset that missed the pool and hit the store.
+// These are the quantities behind the I/O column of the paper's Table 1
+// (SQL Server reports logical + physical reads per statement the same way).
+type Stats struct {
+	LogicalReads   int64
+	PhysicalReads  int64
+	PhysicalWrites int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.LogicalReads += o.LogicalReads
+	s.PhysicalReads += o.PhysicalReads
+	s.PhysicalWrites += o.PhysicalWrites
+}
+
+// Sub returns s minus o; used to attribute I/O to a span of work.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		LogicalReads:   s.LogicalReads - o.LogicalReads,
+		PhysicalReads:  s.PhysicalReads - o.PhysicalReads,
+		PhysicalWrites: s.PhysicalWrites - o.PhysicalWrites,
+	}
+}
+
+// Total returns the combined I/O count reported by the benchmark tables.
+func (s Stats) Total() int64 { return s.LogicalReads + s.PhysicalWrites }
+
+type frame struct {
+	id    PageID
+	buf   []byte
+	pins  int
+	dirty bool
+	used  bool // clock reference bit
+}
+
+// Pool is a pinning buffer pool with clock eviction over a Store.
+// It is safe for concurrent use.
+type Pool struct {
+	mu     sync.Mutex
+	store  Store
+	frames []frame
+	index  map[PageID]int
+	hand   int
+	stats  Stats
+}
+
+// NewPool creates a pool with the given number of frames (minimum 8).
+func NewPool(store Store, frames int) *Pool {
+	if frames < 8 {
+		frames = 8
+	}
+	p := &Pool{
+		store:  store,
+		frames: make([]frame, frames),
+		index:  make(map[PageID]int, frames),
+	}
+	for i := range p.frames {
+		p.frames[i].buf = make([]byte, PageSize)
+	}
+	return p
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters; the bench harness calls this between
+// tasks so each task's I/O is attributed separately, like the paper's
+// per-task rows.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Handle is a pinned page. Buf aliases the frame; it is valid until Release.
+type Handle struct {
+	ID   PageID
+	Buf  []byte
+	pool *Pool
+	idx  int
+}
+
+// Get pins the page, reading it from the store on a miss.
+func (p *Pool) Get(id PageID) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.LogicalReads++
+	if idx, ok := p.index[id]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		f.used = true
+		return &Handle{ID: id, Buf: f.buf, pool: p, idx: idx}, nil
+	}
+	idx, err := p.evictLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	p.stats.PhysicalReads++
+	if err := p.store.ReadPage(id, f.buf); err != nil {
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.used = true
+	p.index[id] = idx
+	return &Handle{ID: id, Buf: f.buf, pool: p, idx: idx}, nil
+}
+
+// New allocates a fresh page in the store and pins it zero-filled.
+func (p *Pool) New() (*Handle, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idx, err := p.evictLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	for i := range f.buf {
+		f.buf[i] = 0
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	f.used = true
+	p.index[id] = idx
+	return &Handle{ID: id, Buf: f.buf, pool: p, idx: idx}, nil
+}
+
+// evictLocked finds a free frame, writing back a dirty victim if needed.
+func (p *Pool) evictLocked() (int, error) {
+	for scanned := 0; scanned < 2*len(p.frames); scanned++ {
+		f := &p.frames[p.hand]
+		idx := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		if f.pins > 0 {
+			continue
+		}
+		if f.used {
+			f.used = false
+			continue
+		}
+		if f.id != InvalidPageID {
+			if f.dirty {
+				p.stats.PhysicalWrites++
+				if err := p.store.WritePage(f.id, f.buf); err != nil {
+					return 0, err
+				}
+			}
+			delete(p.index, f.id)
+			f.id = InvalidPageID
+		}
+		return idx, nil
+	}
+	return 0, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(p.frames))
+}
+
+// Release unpins the page; dirty marks it modified so eviction writes it back.
+func (h *Handle) Release(dirty bool) {
+	p := h.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := &p.frames[h.idx]
+	if f.id != h.ID {
+		panic(fmt.Sprintf("storage: release of stale handle for page %d (frame now holds %d)", h.ID, f.id))
+	}
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: release of unpinned page %d", h.ID))
+	}
+	f.pins--
+}
+
+// FlushAll writes every dirty frame back to the store.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.id != InvalidPageID && f.dirty {
+			p.stats.PhysicalWrites++
+			if err := p.store.WritePage(f.id, f.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Allocate reserves a page id without pinning it.
+func (p *Pool) Allocate() (PageID, error) { return p.store.Allocate() }

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is the raw page I/O layer under the buffer pool.
+type Store interface {
+	// ReadPage fills buf (PageSize bytes) with the page's contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf as the page's contents.
+	WritePage(id PageID, buf []byte) error
+	// Allocate reserves a fresh page and returns its id (never 0).
+	Allocate() (PageID, error)
+	// NumPages returns the number of allocated pages, including page 0.
+	NumPages() int
+	Close() error
+}
+
+// MemStore is an in-memory Store; tests and transient databases use it.
+type MemStore struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemStore returns an empty in-memory store with page 0 allocated.
+func NewMemStore() *MemStore {
+	return &MemStore{pages: [][]byte{make([]byte, PageSize)}}
+}
+
+// ReadPage implements Store.
+func (s *MemStore) ReadPage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, s.pages[id])
+	return nil
+}
+
+// WritePage implements Store.
+func (s *MemStore) WritePage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(s.pages[id], buf)
+	return nil
+}
+
+// Allocate implements Store.
+func (s *MemStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pages = append(s.pages, make([]byte, PageSize))
+	return PageID(len(s.pages) - 1), nil
+}
+
+// NumPages implements Store.
+func (s *MemStore) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore is a Store backed by a single file of concatenated pages.
+type FileStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	n    int
+	path string
+}
+
+// OpenFileStore opens (or creates) a file store at path. A new file gets
+// page 0 allocated.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s size %d is not a multiple of the page size", path, st.Size())
+	}
+	s := &FileStore{f: f, n: int(st.Size() / PageSize), path: path}
+	if s.n == 0 {
+		if _, err := s.Allocate(); err != nil { // page 0: metadata
+			f.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ReadPage implements Store.
+func (s *FileStore) ReadPage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= s.n {
+		return fmt.Errorf("storage: read of unallocated page %d in %s", id, s.path)
+	}
+	_, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// WritePage implements Store.
+func (s *FileStore) WritePage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= s.n {
+		return fmt.Errorf("storage: write of unallocated page %d in %s", id, s.path)
+	}
+	_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// Allocate implements Store.
+func (s *FileStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := PageID(s.n)
+	zero := make([]byte, PageSize)
+	if _, err := s.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		return InvalidPageID, err
+	}
+	s.n++
+	return id, nil
+}
+
+// NumPages implements Store.
+func (s *FileStore) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }

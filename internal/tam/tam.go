@@ -1,0 +1,331 @@
+// Package tam reproduces the paper's baseline: the Terabyte Analysis
+// Machine implementation of MaxBCG (§2.2), a file-based Grid application.
+// The sky is broken into 0.25 deg² target fields; each field task stages
+// two flat files — a 0.5°×0.5° Target file and a buffered Buffer file —
+// loads them into RAM, and runs the algorithm with linear scans of the
+// buffer (no indexes), a coarse 100-step k-correction table, and a 0.25°
+// buffer (the TAM nodes "did not have enough RAM storage to hold the
+// larger files").
+//
+// The algorithmic core is shared with the SQL implementation
+// (maxbcg.BCGCandidate etc.); only the access paths differ, which is
+// exactly the paper's comparison.
+package tam
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/astro"
+	"repro/internal/maxbcg"
+	"repro/internal/sky"
+)
+
+// Config shapes the TAM pipeline.
+type Config struct {
+	// FieldSideDeg is the field edge length; the paper's 0.25 deg²
+	// fields have side 0.5.
+	FieldSideDeg float64
+	// BufferDeg is the margin of the Buffer file around the Target file.
+	// TAM used 0.25 (the RAM compromise); the ideal value is 0.5.
+	BufferDeg float64
+	// Params are the algorithm constants (Params.BufferDeg is unused
+	// here; BufferDeg above is the TAM notion of buffering).
+	Params maxbcg.Params
+	// Kcorr is the k-correction table; TAM used 100 redshift steps.
+	Kcorr *sky.Kcorr
+	// NodeRAMBytes simulates the per-node memory budget. Zero disables
+	// the check. Staging fails when a field's files plus the working
+	// tables would not fit, reproducing why TAM could not run the
+	// finer configuration.
+	NodeRAMBytes int64
+}
+
+// DefaultConfig returns the paper's TAM configuration: 0.5° fields, 0.25°
+// buffer, 100 k-correction steps, and a 1 GB node.
+func DefaultConfig() Config {
+	return Config{
+		FieldSideDeg: 0.5,
+		BufferDeg:    0.25,
+		Params:       maxbcg.DefaultParams(),
+		Kcorr:        sky.MustNewKcorr(100, 0.5),
+		NodeRAMBytes: 1 << 30,
+	}
+}
+
+// BytesPerGalaxy is the paper's row size ("1.5 million rows (44 bytes
+// each)").
+const BytesPerGalaxy = 44
+
+// FieldRAMBytes estimates the memory a field task needs: target + buffer
+// rows plus the per-galaxy chi-square working tables, which scale with the
+// number of redshift steps.
+func FieldRAMBytes(targetRows, bufferRows, zSteps int) int64 {
+	working := int64(zSteps) * 48 // @chisquare row: zid, z, i, chisq, ngal
+	return int64(targetRows+bufferRows)*BytesPerGalaxy + working*int64(bufferRows/64+1)
+}
+
+// Field is one staged unit of work: the task Condor would schedule.
+type Field struct {
+	ID         int
+	Target     astro.Box
+	Buffer     astro.Box
+	TargetPath string
+	BufferPath string
+}
+
+// galaxy file format: "TAMFLD01", int32 count, then per row
+// int64 objid, float64 ra, dec, float32 i, gr, ri (44 bytes per row,
+// matching the paper's figure; the sigma columns are recomputed from i).
+const fieldMagic = "TAMFLD01"
+
+func writeGalaxyFile(path string, gals []sky.Galaxy) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(fieldMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(len(gals))); err != nil {
+		f.Close()
+		return err
+	}
+	for i := range gals {
+		g := &gals[i]
+		if err := binary.Write(w, binary.LittleEndian, g.ObjID); err != nil {
+			f.Close()
+			return err
+		}
+		for _, v := range []float64{g.Ra, g.Dec} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		for _, v := range []float32{float32(g.I), float32(g.Gr), float32(g.Ri)} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadGalaxyFile loads a staged field file.
+func ReadGalaxyFile(path string) ([]sky.Galaxy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(fieldMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("tam: reading field magic: %w", err)
+	}
+	if string(magic) != fieldMagic {
+		return nil, fmt.Errorf("tam: bad field magic %q in %s", magic, path)
+	}
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > 1<<27 {
+		return nil, fmt.Errorf("tam: implausible row count %d in %s", n, path)
+	}
+	gals := make([]sky.Galaxy, n)
+	for i := range gals {
+		g := &gals[i]
+		if err := binary.Read(r, binary.LittleEndian, &g.ObjID); err != nil {
+			return nil, err
+		}
+		for _, p := range []*float64{&g.Ra, &g.Dec} {
+			if err := binary.Read(r, binary.LittleEndian, p); err != nil {
+				return nil, err
+			}
+		}
+		var f32 [3]float32
+		for j := range f32 {
+			if err := binary.Read(r, binary.LittleEndian, &f32[j]); err != nil {
+				return nil, err
+			}
+		}
+		g.I, g.Gr, g.Ri = float64(f32[0]), float64(f32[1]), float64(f32[2])
+		g.SigmaGr = sky.SigmaGrFor(g.I)
+		g.SigmaRi = sky.SigmaRiFor(g.I)
+	}
+	return gals, nil
+}
+
+// StageFields decomposes the target box into fields and writes each
+// field's Target and Buffer files under dir — the hundreds of thousands of
+// file fetches of the paper's Grid applications, in miniature.
+func StageFields(cat *sky.Catalog, target astro.Box, cfg Config, dir string) ([]Field, error) {
+	if cfg.FieldSideDeg <= 0 {
+		return nil, fmt.Errorf("tam: non-positive field side %g", cfg.FieldSideDeg)
+	}
+	if cfg.Kcorr == nil {
+		return nil, fmt.Errorf("tam: nil k-correction table")
+	}
+	var fields []Field
+	for i, box := range target.Fields(cfg.FieldSideDeg) {
+		buffer := box.Expand(cfg.BufferDeg)
+		tg := cat.Select(box)
+		bg := cat.Select(buffer)
+		if cfg.NodeRAMBytes > 0 {
+			if need := FieldRAMBytes(len(tg), len(bg), cfg.Kcorr.Steps()); need > cfg.NodeRAMBytes {
+				return nil, fmt.Errorf("tam: field %d needs %d bytes of RAM, node has %d (the paper's compromise: shrink the buffer or the k-table)",
+					i, need, cfg.NodeRAMBytes)
+			}
+		}
+		fld := Field{
+			ID:         i,
+			Target:     box,
+			Buffer:     buffer,
+			TargetPath: filepath.Join(dir, fmt.Sprintf("field-%04d-target.dat", i)),
+			BufferPath: filepath.Join(dir, fmt.Sprintf("field-%04d-buffer.dat", i)),
+		}
+		if err := writeGalaxyFile(fld.TargetPath, tg); err != nil {
+			return nil, err
+		}
+		if err := writeGalaxyFile(fld.BufferPath, bg); err != nil {
+			return nil, err
+		}
+		fields = append(fields, fld)
+	}
+	return fields, nil
+}
+
+// bufferSearcher scans an in-RAM buffer linearly for every search: the
+// Astrotools access path ("these spherical neighborhood searches are
+// reasonably expensive as each one searches the Buffer file").
+type bufferSearcher struct {
+	gals []sky.Galaxy
+	vecs []astro.Vec3
+}
+
+func newBufferSearcher(gals []sky.Galaxy) *bufferSearcher {
+	s := &bufferSearcher{gals: gals, vecs: make([]astro.Vec3, len(gals))}
+	for i := range gals {
+		s.vecs[i] = astro.UnitVector(gals[i].Ra, gals[i].Dec)
+	}
+	return s
+}
+
+// Search implements maxbcg.Searcher by brute force.
+func (s *bufferSearcher) Search(raDeg, decDeg, rDeg float64, visit func(maxbcg.Neighbor)) error {
+	center := astro.UnitVector(raDeg, decDeg)
+	r2 := astro.Chord2FromAngle(rDeg)
+	for i := range s.gals {
+		c2 := center.Chord2(s.vecs[i])
+		if c2 < r2 {
+			g := &s.gals[i]
+			visit(maxbcg.Neighbor{
+				ObjID: g.ObjID, Ra: g.Ra, Dec: g.Dec,
+				Distance: math.Sqrt(c2) / astro.Deg2Rad,
+				I:        g.I, Gr: g.Gr, Ri: g.Ri,
+			})
+		}
+	}
+	return nil
+}
+
+// ProcessField runs the six MaxBCG steps for one staged field: load the
+// files into RAM, compute candidates for every buffer galaxy (the C and
+// BufferC files), pick the most likely centres among the target-area
+// candidates, and retrieve members from the buffer.
+func ProcessField(fld Field, cfg Config) (*maxbcg.Result, error) {
+	bufGals, err := ReadGalaxyFile(fld.BufferPath)
+	if err != nil {
+		return nil, err
+	}
+	search := newBufferSearcher(bufGals)
+
+	// BufferC: candidates among all buffer galaxies.
+	var bufferC []maxbcg.Candidate
+	for i := range bufGals {
+		c, ok, err := maxbcg.BCGCandidate(cfg.Params, &bufGals[i], cfg.Kcorr, search)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			bufferC = append(bufferC, c)
+		}
+	}
+	cset := maxbcg.NewCandidateSet(bufferC)
+
+	res := &maxbcg.Result{}
+	for _, c := range bufferC {
+		if fld.Target.Contains(c.Ra, c.Dec) {
+			res.Candidates = append(res.Candidates, c)
+		}
+	}
+	for _, c := range res.Candidates {
+		isC, err := maxbcg.IsCluster(cfg.Params, c, cfg.Kcorr, cset)
+		if err != nil {
+			return nil, err
+		}
+		if !isC {
+			continue
+		}
+		res.Clusters = append(res.Clusters, c)
+		members, err := maxbcg.ClusterMembers(cfg.Params, c, cfg.Kcorr, search)
+		if err != nil {
+			return nil, err
+		}
+		res.Members = append(res.Members, members...)
+	}
+	return res, nil
+}
+
+// Merge combines per-field results into one catalog ordered by ObjID.
+// Fields tile the target, so no deduplication is needed.
+func Merge(results []*maxbcg.Result) *maxbcg.Result {
+	out := &maxbcg.Result{}
+	for _, r := range results {
+		out.Candidates = append(out.Candidates, r.Candidates...)
+		out.Clusters = append(out.Clusters, r.Clusters...)
+		out.Members = append(out.Members, r.Members...)
+	}
+	sort.Slice(out.Candidates, func(a, b int) bool { return out.Candidates[a].ObjID < out.Candidates[b].ObjID })
+	sort.Slice(out.Clusters, func(a, b int) bool { return out.Clusters[a].ObjID < out.Clusters[b].ObjID })
+	sort.Slice(out.Members, func(a, b int) bool {
+		if out.Members[a].ClusterObjID != out.Members[b].ClusterObjID {
+			return out.Members[a].ClusterObjID < out.Members[b].ClusterObjID
+		}
+		return out.Members[a].GalaxyObjID < out.Members[b].GalaxyObjID
+	})
+	return out
+}
+
+// Run stages and processes every field sequentially (a single TAM CPU) and
+// merges the results.
+func Run(cat *sky.Catalog, target astro.Box, cfg Config, dir string) (*maxbcg.Result, error) {
+	fields, err := StageFields(cat, target, cfg, dir)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*maxbcg.Result, len(fields))
+	for i, fld := range fields {
+		r, err := ProcessField(fld, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("tam: field %d: %w", fld.ID, err)
+		}
+		results[i] = r
+	}
+	return Merge(results), nil
+}

@@ -1,0 +1,245 @@
+package tam
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/maxbcg"
+	"repro/internal/sky"
+)
+
+func testCatalog(t testing.TB, seed int64) *sky.Catalog {
+	t.Helper()
+	cat, err := sky.Generate(sky.GenConfig{
+		Region: astro.MustBox(194.0, 196.3, 1.4, 3.6),
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestGalaxyFileRoundTrip(t *testing.T) {
+	cat := testCatalog(t, 1)
+	gals := cat.Galaxies[:500]
+	path := t.TempDir() + "/field.dat"
+	if err := writeGalaxyFile(path, gals); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGalaxyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(gals) {
+		t.Fatalf("round trip lost rows: %d vs %d", len(got), len(gals))
+	}
+	for i := range got {
+		if got[i].ObjID != gals[i].ObjID || got[i].Ra != gals[i].Ra {
+			t.Fatalf("row %d identity differs", i)
+		}
+		if math.Abs(got[i].I-gals[i].I) > 1e-5 {
+			t.Fatalf("row %d photometry differs beyond float32", i)
+		}
+		if got[i].SigmaGr != sky.SigmaGrFor(got[i].I) {
+			t.Fatalf("row %d sigma not recomputed", i)
+		}
+	}
+	if _, err := ReadGalaxyFile(t.TempDir() + "/missing.dat"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestStageFieldsGeometry(t *testing.T) {
+	cat := testCatalog(t, 2)
+	target := astro.MustBox(194.8, 195.8, 2.0, 3.0) // 1 deg² = 4 fields
+	cfg := DefaultConfig()
+	fields, err := StageFields(cat, target, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 4 {
+		t.Fatalf("got %d fields, want 4", len(fields))
+	}
+	for _, f := range fields {
+		if a := f.Target.FlatArea(); math.Abs(a-0.25) > 1e-9 {
+			t.Errorf("field %d target area %g, want 0.25 deg²", f.ID, a)
+		}
+		if a := f.Buffer.FlatArea(); math.Abs(a-1.0) > 1e-9 {
+			t.Errorf("field %d buffer area %g, want 1 deg² (paper Figure 1)", f.ID, a)
+		}
+		tg, err := ReadGalaxyFile(f.TargetPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper: a 0.25 deg² field holds ~3.5e3 galaxies.
+		if len(tg) < 2800 || len(tg) > 4500 {
+			t.Errorf("field %d target holds %d galaxies, want ~3500", f.ID, len(tg))
+		}
+		for i := range tg {
+			if !f.Target.Contains(tg[i].Ra, tg[i].Dec) {
+				t.Fatalf("field %d target file contains outside galaxy", f.ID)
+			}
+		}
+	}
+}
+
+func TestRAMConstraintRejectsIdealConfig(t *testing.T) {
+	// The paper: TAM nodes could not hold the 1.5°×1.5° buffer with fine
+	// z-steps. With a deliberately small simulated node, the ideal
+	// configuration must fail staging while the compromise succeeds.
+	cat := testCatalog(t, 3)
+	target := astro.MustBox(195.0, 195.5, 2.2, 2.7)
+
+	compromise := DefaultConfig()
+	compromise.NodeRAMBytes = 3 << 20 // 3 MiB toy node
+	if _, err := StageFields(cat, target, compromise, t.TempDir()); err != nil {
+		t.Fatalf("compromise configuration rejected: %v", err)
+	}
+
+	ideal := compromise
+	ideal.BufferDeg = 0.5
+	ideal.Kcorr = sky.MustNewKcorr(1000, 0.5)
+	if _, err := StageFields(cat, target, ideal, t.TempDir()); err == nil {
+		t.Error("ideal configuration fit in a node it should not fit in")
+	} else if !strings.Contains(err.Error(), "RAM") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestProcessFieldFindsClusters(t *testing.T) {
+	cat := testCatalog(t, 5)
+	target := astro.MustBox(195.0, 195.5, 2.2, 2.7)
+	cfg := DefaultConfig()
+	fields, err := StageFields(cat, target, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ProcessField(fields[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates in a dense field")
+	}
+	// Paper: ~4.5 clusters per field.
+	if len(res.Clusters) < 1 || len(res.Clusters) > 20 {
+		t.Errorf("%d clusters in one field, want a handful", len(res.Clusters))
+	}
+	for _, c := range res.Clusters {
+		if !fields[0].Target.Contains(c.Ra, c.Dec) {
+			t.Errorf("cluster %d outside the field target", c.ObjID)
+		}
+	}
+}
+
+func TestTAMAgreesWithSQLOnEqualSettings(t *testing.T) {
+	// When the TAM pipeline is given the SQL configuration (0.5° buffer,
+	// 1000 z-steps) the two implementations are the same algorithm over
+	// different access paths, so the cluster catalogs must be identical.
+	cat := testCatalog(t, 7)
+	target := astro.MustBox(194.9, 195.4, 2.25, 2.75)
+
+	cfg := DefaultConfig()
+	cfg.BufferDeg = 0.5
+	cfg.Kcorr = cat.Kcorr // the catalog's 1000-step table
+	cfg.NodeRAMBytes = 0  // simulated RAM limit lifted
+	tamRes, err := Run(cat, target, cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finder, err := maxbcg.NewFinder(cat, maxbcg.DefaultParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqlRes, err := finder.Run(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(tamRes.Clusters) != len(sqlRes.Clusters) {
+		t.Fatalf("cluster counts differ: TAM %d vs SQL %d", len(tamRes.Clusters), len(sqlRes.Clusters))
+	}
+	for i := range tamRes.Clusters {
+		a, b := tamRes.Clusters[i], sqlRes.Clusters[i]
+		if a.ObjID != b.ObjID || a.NGal != b.NGal || math.Abs(a.Chi2-b.Chi2) > 1e-9 {
+			t.Fatalf("cluster %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// Candidates inside the target must agree too.
+	var sqlInT []maxbcg.Candidate
+	for _, c := range sqlRes.Candidates {
+		if target.Contains(c.Ra, c.Dec) {
+			sqlInT = append(sqlInT, c)
+		}
+	}
+	if len(tamRes.Candidates) != len(sqlInT) {
+		t.Fatalf("target candidates differ: TAM %d vs SQL %d", len(tamRes.Candidates), len(sqlInT))
+	}
+	for i := range tamRes.Candidates {
+		if tamRes.Candidates[i].ObjID != sqlInT[i].ObjID {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+}
+
+func TestSmallBufferLosesBorderNeighbors(t *testing.T) {
+	// Figure 1's compromise quantified: with the paper's 0.25° buffer,
+	// border candidates see truncated neighbourhoods, so some weighted
+	// likelihoods drop relative to the 0.5° run.
+	cat := testCatalog(t, 11)
+	target := astro.MustBox(195.0, 195.5, 2.2, 2.7)
+
+	small := DefaultConfig()
+	small.Kcorr = cat.Kcorr
+	big := small
+	big.BufferDeg = 0.5
+
+	smallRes, err := Run(cat, target, small, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigRes, err := Run(cat, target, big, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The big buffer can only add neighbours: for candidates present in
+	// both runs, ngal(big) >= ngal(small).
+	smallBy := map[int64]maxbcg.Candidate{}
+	for _, c := range smallRes.Candidates {
+		smallBy[c.ObjID] = c
+	}
+	shrunk := 0
+	for _, c := range bigRes.Candidates {
+		if s, ok := smallBy[c.ObjID]; ok && s.Z == c.Z && c.NGal < s.NGal {
+			shrunk++
+		}
+	}
+	if shrunk > 0 {
+		t.Errorf("%d candidates lost neighbours when the buffer grew", shrunk)
+	}
+}
+
+func BenchmarkProcessField(b *testing.B) {
+	cat, err := sky.Generate(sky.GenConfig{
+		Region: astro.MustBox(194.5, 196.0, 1.9, 3.1),
+		Seed:   21,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	fields, err := StageFields(cat, astro.MustBox(195.0, 195.5, 2.3, 2.8), cfg, b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProcessField(fields[0], cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
