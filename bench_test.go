@@ -49,6 +49,7 @@ func benchTarget() astro.Box { return astro.MustBox(194.9, 195.4, 1.9, 3.1) }
 // --- Table 1: SQL cluster performance, no partitioning vs 3-way ----------
 
 func BenchmarkTable1NoPartition(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -67,6 +68,7 @@ func BenchmarkTable1NoPartition(b *testing.B) {
 }
 
 func BenchmarkTable1ThreeWay(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -87,6 +89,7 @@ func BenchmarkTable1ThreeWay(b *testing.B) {
 // --- Table 2: scale-factor arithmetic -------------------------------------
 
 func BenchmarkTable2ScaleFactors(b *testing.B) {
+	b.ReportAllocs()
 	var total float64
 	for i := 0; i < b.N; i++ {
 		s := perfmodel.ComputeScaleFactors(perfmodel.TAMConfig(), perfmodel.SQLConfig())
@@ -101,6 +104,7 @@ func BenchmarkTable2ScaleFactors(b *testing.B) {
 func table3Target() astro.Box { return astro.MustBox(195.0, 195.5, 2.3, 2.8) }
 
 func BenchmarkTable3TAMBaseline(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	cfg := tam.DefaultConfig()
 	b.ResetTimer()
@@ -112,6 +116,7 @@ func BenchmarkTable3TAMBaseline(b *testing.B) {
 }
 
 func BenchmarkTable3SQLServer(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -132,6 +137,7 @@ func BenchmarkTable3SQLServer(b *testing.B) {
 // --- Figure 1: the TAM buffer compromise ----------------------------------
 
 func BenchmarkFigure1BufferTruncation(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	target := table3Target()
 	truncated := 0.0
@@ -166,6 +172,7 @@ func BenchmarkFigure1BufferTruncation(b *testing.B) {
 // --- Figure 2: candidate pipeline densities --------------------------------
 
 func BenchmarkFigure2CandidateDensity(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	f, err := maxbcg.NewFinder(cat, maxbcg.DefaultParams(), 0)
 	if err != nil {
@@ -192,6 +199,7 @@ func BenchmarkFigure2CandidateDensity(b *testing.B) {
 // --- Figure 3: 5-parameter selection from the Galaxy table -----------------
 
 func BenchmarkFigure3Selection(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	db := sqldb.Open(0)
 	f, err := maxbcg.NewDBFinder(db, maxbcg.DefaultParams(), cat.Kcorr, 0)
@@ -202,6 +210,7 @@ func BenchmarkFigure3Selection(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("FullScanFilter", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rows, err := db.Query(`SELECT COUNT(*) FROM galaxy
 				WHERE ra BETWEEN 194.9 AND 195.4 AND dec BETWEEN 2.3 AND 2.8`)
@@ -212,6 +221,7 @@ func BenchmarkFigure3Selection(b *testing.B) {
 		}
 	})
 	b.Run("ClusteredRangeScan", func(b *testing.B) {
+		b.ReportAllocs()
 		// objid is the clustered key; a range on it prunes pages.
 		for i := 0; i < b.N; i++ {
 			rows, err := db.Query("SELECT COUNT(*) FROM galaxy WHERE objid BETWEEN 1000 AND 2000")
@@ -226,9 +236,11 @@ func BenchmarkFigure3Selection(b *testing.B) {
 // --- Figure 4: buffer overhead shrinks with target size --------------------
 
 func BenchmarkFigure4BufferOverhead(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	for _, side := range []float64{0.5, 1.0, 2.0} {
 		b.Run(fmt.Sprintf("side-%gdeg", side), func(b *testing.B) {
+			b.ReportAllocs()
 			target := astro.MustBox(195.15-side/2, 195.15+side/2, 2.5-side/2, 2.5+side/2)
 			buffered := target.Expand(0.5)
 			overhead := buffered.FlatArea() / target.FlatArea()
@@ -250,6 +262,7 @@ func BenchmarkFigure4BufferOverhead(b *testing.B) {
 // --- Figure 5: candidate max-likelihood search -----------------------------
 
 func BenchmarkFigure5CandidateSearch(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	f, err := maxbcg.NewFinder(cat, maxbcg.DefaultParams(), 0)
 	if err != nil {
@@ -261,6 +274,7 @@ func BenchmarkFigure5CandidateSearch(b *testing.B) {
 	}
 	p := maxbcg.DefaultParams()
 	b.Run("CandidateSet", func(b *testing.B) {
+		b.ReportAllocs()
 		cset := maxbcg.NewCandidateSet(cands)
 		for i := 0; i < b.N; i++ {
 			c := cands[i%len(cands)]
@@ -270,6 +284,7 @@ func BenchmarkFigure5CandidateSearch(b *testing.B) {
 		}
 	})
 	b.Run("NaiveScan", func(b *testing.B) {
+		b.ReportAllocs()
 		naive := naiveCandidateSearcher(cands)
 		for i := 0; i < b.N; i++ {
 			c := cands[i%len(cands)]
@@ -298,6 +313,7 @@ func (s naiveCandidateSearcher) SearchCandidates(ra, dec, r float64, visit func(
 // --- Figure 6: partition planning and speedup ------------------------------
 
 func BenchmarkFigure6Partitioning(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	survey := astro.MustBox(172, 185, -3, 5)
 	paperTarget := astro.MustBox(173, 184, -2, 4)
@@ -311,6 +327,7 @@ func BenchmarkFigure6Partitioning(b *testing.B) {
 	}
 	for _, nodes := range []int{1, 2, 3} {
 		b.Run(fmt.Sprintf("run-%dnodes", nodes), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := cluster.Run(cat, benchTarget(), cluster.Config{
 					Nodes: nodes, Params: maxbcg.DefaultParams(),
@@ -324,15 +341,93 @@ func BenchmarkFigure6Partitioning(b *testing.B) {
 	}
 }
 
+// --- Zone search: point probes vs the batched zone join ---------------------
+
+// BenchmarkZoneSearch answers the same probe set through the per-probe
+// SearchTable plan (one descent + cursor per probe per zone) and through
+// BatchSearch (one synchronized sweep per zone); the gap is the tentpole
+// speedup at its source.
+func BenchmarkZoneSearch(b *testing.B) {
+	b.ReportAllocs()
+	cat := benchCatalog(b)
+	db := sqldb.Open(0)
+	zt, err := zone.InstallZoneTable(db, "Zone", cat.Galaxies, astro.ZoneHeightDeg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := make([]zone.Probe, 256)
+	for i := range probes {
+		probes[i] = zone.Probe{
+			Ra:  194.0 + float64(i%64)*0.035,
+			Dec: 1.4 + float64(i%37)*0.06,
+			R:   0.1,
+		}
+	}
+	b.Run("Probe", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for _, p := range probes {
+				err := zone.SearchTable(zt, astro.ZoneHeightDeg, p.Ra, p.Dec, p.R,
+					func(zone.ZoneRow) { n++ })
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("Batch", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			err := zone.BatchSearch(zt, astro.ZoneHeightDeg, probes,
+				func(int, zone.ZoneRow) { n++ })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- Ablations: the design choices §2.6 credits ----------------------------
+
+// BenchmarkAblationBatchVsProbe runs the full DBFinder pipeline under both
+// neighbour-search access paths; their outputs are bit-identical (see
+// TestBatchModeMatchesProbeMode), so the delta is pure access-path cost.
+func BenchmarkAblationBatchVsProbe(b *testing.B) {
+	b.ReportAllocs()
+	cat := benchCatalog(b)
+	target := table3Target()
+	run := func(b *testing.B, mode maxbcg.SearchMode) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := sqldb.Open(0)
+			f, err := maxbcg.NewDBFinder(db, maxbcg.DefaultParams(), cat.Kcorr, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.Mode = mode
+			if _, err := f.ImportGalaxies(cat, target.Expand(1.0)); err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := f.Run(target, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Batch", func(b *testing.B) { run(b, maxbcg.SearchBatch) })
+	b.Run("Probe", func(b *testing.B) { run(b, maxbcg.SearchProbe) })
+}
 
 // BenchmarkAblationEarlyFilter removes the χ² early filter (cutoff → ∞) so
 // every galaxy reaches the neighbour-count stage: the cost the early JOIN
 // filter avoids.
 func BenchmarkAblationEarlyFilter(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	small := astro.MustBox(195.1, 195.3, 2.45, 2.65)
 	run := func(b *testing.B, cutoff float64) {
+		b.ReportAllocs()
 		p := maxbcg.DefaultParams()
 		p.Chi2Cutoff = cutoff
 		f, err := maxbcg.NewFinder(cat, p, 0)
@@ -354,6 +449,7 @@ func BenchmarkAblationEarlyFilter(b *testing.B) {
 // paths on identical queries: zone (the paper's choice), HTM (rejected for
 // performance), and a full scan.
 func BenchmarkAblationSpatialIndex(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	zidx, err := zone.Build(cat.Galaxies, astro.ZoneHeightDeg)
 	if err != nil {
@@ -367,6 +463,7 @@ func BenchmarkAblationSpatialIndex(b *testing.B) {
 		return 194.5 + float64(i%100)*0.015, 2.0 + float64(i%37)*0.04
 	}
 	b.Run("Zone", func(b *testing.B) {
+		b.ReportAllocs()
 		n := 0
 		for i := 0; i < b.N; i++ {
 			ra, dec := query(i)
@@ -374,6 +471,7 @@ func BenchmarkAblationSpatialIndex(b *testing.B) {
 		}
 	})
 	b.Run("HTM", func(b *testing.B) {
+		b.ReportAllocs()
 		n := 0
 		for i := 0; i < b.N; i++ {
 			ra, dec := query(i)
@@ -381,6 +479,7 @@ func BenchmarkAblationSpatialIndex(b *testing.B) {
 		}
 	})
 	b.Run("FullScan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ra, dec := query(i)
 			zone.BruteForce(cat.Galaxies, ra, dec, 0.25)
@@ -391,9 +490,11 @@ func BenchmarkAblationSpatialIndex(b *testing.B) {
 // BenchmarkAblationZoneHeight sweeps the zone height: too thin means many
 // zone seeks, too thick means wide ra scans.
 func BenchmarkAblationZoneHeight(b *testing.B) {
+	b.ReportAllocs()
 	cat := benchCatalog(b)
 	for _, h := range []float64{astro.ZoneHeightDeg, 4 * astro.ZoneHeightDeg, 0.1, 0.5} {
 		b.Run(fmt.Sprintf("h-%.4fdeg", h), func(b *testing.B) {
+			b.ReportAllocs()
 			idx, err := zone.Build(cat.Galaxies, h)
 			if err != nil {
 				b.Fatal(err)
@@ -412,6 +513,7 @@ func BenchmarkAblationZoneHeight(b *testing.B) {
 // very slow": fetching rows one query at a time vs one set-oriented
 // statement.
 func BenchmarkAblationCursorVsApply(b *testing.B) {
+	b.ReportAllocs()
 	db := sqldb.Open(0)
 	if _, err := db.Exec("CREATE TABLE t (k bigint PRIMARY KEY, v float)"); err != nil {
 		b.Fatal(err)
@@ -424,6 +526,7 @@ func BenchmarkAblationCursorVsApply(b *testing.B) {
 		}
 	}
 	b.Run("RowAtATimeQueries", func(b *testing.B) {
+		b.ReportAllocs()
 		// One statement per row, the cursor pattern of spMakeCandidates.
 		for i := 0; i < b.N; i++ {
 			var sum float64
@@ -439,6 +542,7 @@ func BenchmarkAblationCursorVsApply(b *testing.B) {
 		}
 	})
 	b.Run("SetOriented", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			r, err := db.Query("SELECT SUM(v) FROM t")
 			if err != nil {

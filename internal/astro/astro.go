@@ -171,6 +171,32 @@ func RaHalfWidth(decDeg, rDeg float64, zoneID int, zoneHeightDeg float64) float6
 	return x + epsilon
 }
 
+// RaWindows splits the ra interval [raDeg−halfWidthDeg, raDeg+halfWidthDeg]
+// into the segments of [0, 360) it covers. A window that straddles the
+// ra = 0°/360° seam yields two segments, so a range scan over ra-sorted
+// storage sees every neighbour of a centre near the seam. raDeg must be in
+// [0, 360); segments come back ascending, inclusive on both ends.
+func RaWindows(raDeg, halfWidthDeg float64) (segs [2][2]float64, n int) {
+	if halfWidthDeg >= 180 {
+		segs[0] = [2]float64{0, 360}
+		return segs, 1
+	}
+	lo, hi := raDeg-halfWidthDeg, raDeg+halfWidthDeg
+	switch {
+	case lo < 0:
+		segs[0] = [2]float64{0, hi}
+		segs[1] = [2]float64{lo + 360, 360}
+		return segs, 2
+	case hi > 360:
+		segs[0] = [2]float64{0, hi - 360}
+		segs[1] = [2]float64{lo, 360}
+		return segs, 2
+	default:
+		segs[0] = [2]float64{lo, hi}
+		return segs, 1
+	}
+}
+
 // NormalizeRa maps an ra value into [0, 360).
 func NormalizeRa(raDeg float64) float64 {
 	raDeg = math.Mod(raDeg, 360)

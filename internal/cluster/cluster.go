@@ -89,6 +89,9 @@ type Config struct {
 	Kcorr      *sky.Kcorr
 	ZoneHeight float64 // 0 = paper default
 	PoolFrames int     // per-node buffer pool frames (0 = default)
+	// Mode selects each node's neighbour-search access path: the batched
+	// zone join (default) or the per-probe ablation baseline.
+	Mode maxbcg.SearchMode
 	// Sequential forces the partitions to run one after another; used to
 	// attribute CPU cleanly when measuring.
 	Sequential bool
@@ -115,6 +118,7 @@ func Run(cat *sky.Catalog, target astro.Box, cfg Config) (*Result, error) {
 		if err != nil {
 			return err
 		}
+		finder.Mode = cfg.Mode
 		if _, err := finder.ImportGalaxies(cat, part.Import); err != nil {
 			return err
 		}

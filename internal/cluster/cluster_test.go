@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/astro"
@@ -158,5 +159,38 @@ func TestDuplicatedWorkAccounting(t *testing.T) {
 		if len(n.Report.Tasks) < 3 {
 			t.Errorf("node %s has %d task rows", n.Partition.Name, len(n.Report.Tasks))
 		}
+	}
+}
+
+// TestBatchModeMatchesProbeModeAcrossNodes asserts the batched zone join
+// is bit-identical to the per-probe plan through the full partitioned
+// pipeline: same merged candidates, clusters, and members.
+func TestBatchModeMatchesProbeModeAcrossNodes(t *testing.T) {
+	cat, err := sky.Generate(sky.GenConfig{
+		Region: astro.MustBox(195.0, 195.8, 2.2, 3.0),
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := astro.MustBox(195.2, 195.6, 2.4, 2.8)
+	run := func(mode maxbcg.SearchMode) *maxbcg.Result {
+		res, err := Run(cat, target, Config{
+			Nodes: 2, Params: maxbcg.DefaultParams(),
+			Mode: mode, IncludeMembers: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Merged
+	}
+	probe := run(maxbcg.SearchProbe)
+	batch := run(maxbcg.SearchBatch)
+	if len(probe.Candidates) == 0 || len(probe.Members) == 0 {
+		t.Fatalf("degenerate fixture: %s", probe.Summary())
+	}
+	if !reflect.DeepEqual(probe, batch) {
+		t.Errorf("merged results differ: probe %s vs batch %s",
+			probe.Summary(), batch.Summary())
 	}
 }

@@ -13,6 +13,19 @@ import (
 	"repro/internal/zone"
 )
 
+// SearchMode selects the neighbour-search access path of a DBFinder.
+type SearchMode int
+
+const (
+	// SearchBatch answers each task's probes with the batched zone join:
+	// probe centres sort by (zone, ra) and merge against the clustered
+	// index in one synchronized sweep per zone. The default.
+	SearchBatch SearchMode = iota
+	// SearchProbe is the original per-galaxy point-probe plan — one range
+	// scan per probe per overlapping zone — kept as the ablation baseline.
+	SearchProbe
+)
+
 // DBFinder is the paper's SQL Server implementation: the catalog lives in
 // sqldb tables, spZone builds the zone-clustered index, and the sp* tasks
 // run against buffer-pool-backed storage so the harness can report the
@@ -22,6 +35,7 @@ type DBFinder struct {
 	Kcorr      *sky.Kcorr
 	ZoneHeight float64
 	DB         *sqldb.DB
+	Mode       SearchMode // access path for candidate and member searches
 
 	galaxyT  *sqldb.Table
 	kcorrT   *sqldb.Table
@@ -143,6 +157,21 @@ func (f *DBFinder) ImportGalaxies(cat *sky.Catalog, region astro.Box) (int64, er
 	return n, nil
 }
 
+// decodeGalaxy reads one Galaxy-schema row (see GalaxyColumns for the
+// column order every scan site shares).
+func decodeGalaxy(row []sqldb.Value) sky.Galaxy {
+	var g sky.Galaxy
+	g.ObjID, _ = row[0].AsInt()
+	g.Ra, _ = row[1].AsFloat()
+	g.Dec, _ = row[2].AsFloat()
+	g.I, _ = row[3].AsFloat()
+	g.Gr, _ = row[4].AsFloat()
+	g.Ri, _ = row[5].AsFloat()
+	g.SigmaGr, _ = row[6].AsFloat()
+	g.SigmaRi, _ = row[7].AsFloat()
+	return g
+}
+
 // readGalaxies scans the Galaxy table back into memory (counted I/O).
 func (f *DBFinder) readGalaxies() ([]sky.Galaxy, error) {
 	cur, err := f.galaxyT.Scan()
@@ -152,17 +181,7 @@ func (f *DBFinder) readGalaxies() ([]sky.Galaxy, error) {
 	defer cur.Close()
 	var out []sky.Galaxy
 	for cur.Next() {
-		row := cur.Row()
-		var g sky.Galaxy
-		g.ObjID, _ = row[0].AsInt()
-		g.Ra, _ = row[1].AsFloat()
-		g.Dec, _ = row[2].AsFloat()
-		g.I, _ = row[3].AsFloat()
-		g.Gr, _ = row[4].AsFloat()
-		g.Ri, _ = row[5].AsFloat()
-		g.SigmaGr, _ = row[6].AsFloat()
-		g.SigmaRi, _ = row[7].AsFloat()
-		out = append(out, g)
+		out = append(out, decodeGalaxy(cur.Row()))
 	}
 	return out, cur.Err()
 }
@@ -209,7 +228,8 @@ func (f *DBFinder) Searcher() (Searcher, error) {
 // MakeCandidates runs fBCGCandidate for every galaxy in area and fills the
 // Candidates table (the paper's spMakeCandidates cursor). It also builds
 // the zone-clustered candidate table used by fIsCluster — "we do in
-// advance what will be required later".
+// advance what will be required later". The Mode field picks the access
+// path; both paths fill the table with bit-identical rows.
 func (f *DBFinder) MakeCandidates(area astro.Box) (int64, error) {
 	if f.zoneT == nil {
 		return 0, fmt.Errorf("maxbcg: SpZone must run before MakeCandidates")
@@ -222,50 +242,148 @@ func (f *DBFinder) MakeCandidates(area astro.Box) (int64, error) {
 	if _, err := f.readKcorr(); err != nil {
 		return 0, err
 	}
+	var (
+		n   int64
+		err error
+	)
+	if f.Mode == SearchProbe {
+		n, err = f.makeCandidatesProbe(area)
+	} else {
+		n, err = f.makeCandidatesBatch(area)
+	}
+	if err != nil {
+		return n, err
+	}
+	return n, f.buildCandidateZones()
+}
+
+// makeCandidatesProbe is the original row-at-a-time plan: one full
+// neighbour search per galaxy. Kept as the ablation baseline the batched
+// zone join is measured against.
+func (f *DBFinder) makeCandidatesProbe(area astro.Box) (int64, error) {
 	s := dbSearcher{t: f.zoneT, height: f.ZoneHeight}
 	cur, err := f.galaxyT.Scan()
 	if err != nil {
 		return 0, err
 	}
+	defer cur.Close()
 	var n int64
 	for cur.Next() {
-		row := cur.Row()
-		var g sky.Galaxy
-		g.ObjID, _ = row[0].AsInt()
-		g.Ra, _ = row[1].AsFloat()
-		g.Dec, _ = row[2].AsFloat()
+		g := decodeGalaxy(cur.Row())
 		if !area.Contains(g.Ra, g.Dec) {
 			continue
 		}
-		g.I, _ = row[3].AsFloat()
-		g.Gr, _ = row[4].AsFloat()
-		g.Ri, _ = row[5].AsFloat()
-		g.SigmaGr, _ = row[6].AsFloat()
-		g.SigmaRi, _ = row[7].AsFloat()
 		c, ok, err := BCGCandidate(f.Params, &g, f.Kcorr, s)
 		if err != nil {
-			cur.Close()
 			return n, err
 		}
 		if !ok {
 			continue
 		}
-		ins := []sqldb.Value{
-			sqldb.Int(c.ObjID), sqldb.Float(c.Ra), sqldb.Float(c.Dec),
-			sqldb.Float(c.Z), sqldb.Float(c.I), sqldb.Int(int64(c.NGal)), sqldb.Float(c.Chi2),
-		}
-		if err := f.candT.Insert(ins); err != nil {
-			cur.Close()
+		if err := f.insertCandidate(c); err != nil {
 			return n, err
 		}
 		n++
 	}
-	err = cur.Err()
-	cur.Close()
+	return n, cur.Err()
+}
+
+// candidateBatchSize bounds how many probe galaxies buffer per sweep:
+// large enough to amortize the per-zone descents across many probes, small
+// enough to keep the buffered friends lists modest.
+const candidateBatchSize = 512
+
+// candProbe is one galaxy awaiting its batched neighbour search: the χ²
+// survivors, the aggregated search windows, and the friends the sweep
+// delivers.
+type candProbe struct {
+	g       sky.Galaxy
+	rows    []chiRow
+	w       windows
+	friends []Neighbor
+}
+
+// makeCandidatesBatch is the batched zone join: galaxies that survive the
+// χ² filter buffer into batches whose probe centres are answered together
+// by one synchronized sweep per zone, then the per-redshift counting runs
+// per galaxy in scan order, so the Candidates table ends up identical to
+// the probe path's.
+func (f *DBFinder) makeCandidatesBatch(area astro.Box) (int64, error) {
+	cur, err := f.galaxyT.Scan()
 	if err != nil {
+		return 0, err
+	}
+	defer cur.Close()
+	var (
+		n      int64
+		batch  []candProbe
+		probes []zone.Probe
+	)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		probes = probes[:0]
+		for i := range batch {
+			probes = append(probes, zone.Probe{Ra: batch[i].g.Ra, Dec: batch[i].g.Dec, R: batch[i].w.rad})
+		}
+		err := zone.BatchSearch(f.zoneT, f.ZoneHeight, probes, func(pi int, zr zone.ZoneRow) {
+			b := &batch[pi]
+			nb := Neighbor{
+				ObjID: zr.ObjID, Ra: zr.Ra, Dec: zr.Dec,
+				Distance: zr.Distance, I: zr.I, Gr: zr.Gr, Ri: zr.Ri,
+			}
+			if acceptFriend(&b.g, &b.w, &nb) {
+				b.friends = append(b.friends, nb)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		for i := range batch {
+			b := &batch[i]
+			c, ok := finishCandidate(f.Params, &b.g, f.Kcorr, b.rows, b.friends)
+			if !ok {
+				continue
+			}
+			if err := f.insertCandidate(c); err != nil {
+				return err
+			}
+			n++
+		}
+		batch = batch[:0]
+		return nil
+	}
+	var scratch [64]chiRow
+	for cur.Next() {
+		g := decodeGalaxy(cur.Row())
+		if !area.Contains(g.Ra, g.Dec) {
+			continue
+		}
+		rows := chiSquareTable(f.Params, &g, f.Kcorr, scratch[:0])
+		if len(rows) == 0 {
+			continue
+		}
+		w := searchWindows(f.Params, &g, f.Kcorr, rows)
+		batch = append(batch, candProbe{g: g, rows: append([]chiRow(nil), rows...), w: w})
+		if len(batch) >= candidateBatchSize {
+			if err := flush(); err != nil {
+				return n, err
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
 		return n, err
 	}
-	return n, f.buildCandidateZones()
+	return n, flush()
+}
+
+// insertCandidate appends one row to the Candidates table.
+func (f *DBFinder) insertCandidate(c Candidate) error {
+	return f.candT.Insert([]sqldb.Value{
+		sqldb.Int(c.ObjID), sqldb.Float(c.Ra), sqldb.Float(c.Dec),
+		sqldb.Float(c.Z), sqldb.Float(c.I), sqldb.Int(int64(c.NGal)), sqldb.Float(c.Chi2),
+	})
 }
 
 // buildCandidateZones clusters the candidates by (zoneid, ra) so fIsCluster
@@ -342,34 +460,37 @@ func (s dbCandSearcher) SearchCandidates(raDeg, decDeg, rDeg float64, visit func
 	minZ, maxZ := astro.ZoneRange(decDeg, rDeg, s.height)
 	for z := minZ; z <= maxZ; z++ {
 		x := astro.RaHalfWidth(decDeg, rDeg, z, s.height)
-		cur, err := s.t.RangeScanPrefix(
-			[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(raDeg - x)},
-			[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(raDeg + x)},
-		)
-		if err != nil {
-			return err
-		}
-		for cur.Next() {
-			row := cur.Row()
-			ra, _ := row[1].AsFloat()
-			dec, _ := row[2].AsFloat()
-			if center.Chord2(astro.UnitVector(ra, dec)) >= r2 {
-				continue
+		segs, ns := astro.RaWindows(raDeg, x)
+		for si := 0; si < ns; si++ {
+			cur, err := s.t.RangeScanPrefix(
+				[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(segs[si][0])},
+				[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(segs[si][1])},
+			)
+			if err != nil {
+				return err
 			}
-			var c Candidate
-			c.Ra, c.Dec = ra, dec
-			c.ObjID, _ = row[3].AsInt()
-			c.Z, _ = row[4].AsFloat()
-			c.I, _ = row[5].AsFloat()
-			ngal, _ := row[6].AsInt()
-			c.NGal = int(ngal)
-			c.Chi2, _ = row[7].AsFloat()
-			visit(c)
-		}
-		err = cur.Err()
-		cur.Close()
-		if err != nil {
-			return err
+			for cur.Next() {
+				row := cur.Row()
+				ra, _ := row[1].AsFloat()
+				dec, _ := row[2].AsFloat()
+				if center.Chord2(astro.UnitVector(ra, dec)) >= r2 {
+					continue
+				}
+				var c Candidate
+				c.Ra, c.Dec = ra, dec
+				c.ObjID, _ = row[3].AsInt()
+				c.Z, _ = row[4].AsFloat()
+				c.I, _ = row[5].AsFloat()
+				ngal, _ := row[6].AsInt()
+				c.NGal = int(ngal)
+				c.Chi2, _ = row[7].AsFloat()
+				visit(c)
+			}
+			err = cur.Err()
+			cur.Close()
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -426,33 +547,33 @@ func (f *DBFinder) MakeClusters(target astro.Box) (int64, error) {
 }
 
 // MakeMembers fills ClusterGalaxiesMetric for every cluster (the paper's
-// spMakeGalaxiesMetric).
+// spMakeGalaxiesMetric). Under SearchBatch every cluster's membership
+// window joins against the zone table in one sweep; the emitted rows match
+// the per-cluster path exactly.
 func (f *DBFinder) MakeMembers() (int64, error) {
 	if err := f.memberT.Truncate(); err != nil {
 		return 0, err
 	}
-	s := dbSearcher{t: f.zoneT, height: f.ZoneHeight}
-	cur, err := f.clusterT.Scan()
+	clusters, err := f.readCandidates(f.clusterT)
 	if err != nil {
 		return 0, err
 	}
-	defer cur.Close()
-	var n int64
-	for cur.Next() {
-		row := cur.Row()
-		var c Candidate
-		c.ObjID, _ = row[0].AsInt()
-		c.Ra, _ = row[1].AsFloat()
-		c.Dec, _ = row[2].AsFloat()
-		c.Z, _ = row[3].AsFloat()
-		c.I, _ = row[4].AsFloat()
-		ngal, _ := row[5].AsInt()
-		c.NGal = int(ngal)
-		c.Chi2, _ = row[6].AsFloat()
-		members, err := ClusterMembers(f.Params, c, f.Kcorr, s)
-		if err != nil {
-			return n, err
+	var lists [][]Member
+	if f.Mode == SearchProbe {
+		s := dbSearcher{t: f.zoneT, height: f.ZoneHeight}
+		lists = make([][]Member, len(clusters))
+		for i, c := range clusters {
+			if lists[i], err = ClusterMembers(f.Params, c, f.Kcorr, s); err != nil {
+				return 0, err
+			}
 		}
+	} else {
+		if lists, err = f.clusterMembersBatch(clusters); err != nil {
+			return 0, err
+		}
+	}
+	var n int64
+	for _, members := range lists {
 		for _, m := range members {
 			ins := []sqldb.Value{
 				sqldb.Int(m.ClusterObjID), sqldb.Int(m.GalaxyObjID), sqldb.Float(m.Distance),
@@ -463,7 +584,48 @@ func (f *DBFinder) MakeMembers() (int64, error) {
 			n++
 		}
 	}
-	return n, cur.Err()
+	return n, nil
+}
+
+// clusterMembersBatch answers every cluster's membership search with one
+// batched zone join, applying ClusterMembers' exact filters per cluster.
+func (f *DBFinder) clusterMembersBatch(clusters []Candidate) ([][]Member, error) {
+	probes := make([]zone.Probe, len(clusters))
+	rads := make([]float64, len(clusters))
+	krows := make([]sky.KcorrRow, len(clusters))
+	lists := make([][]Member, len(clusters))
+	for i, c := range clusters {
+		k, ok := f.Kcorr.LookupExact(c.Z)
+		if !ok {
+			return nil, fmt.Errorf("maxbcg: cluster %d has untabulated redshift %g", c.ObjID, c.Z)
+		}
+		rads[i] = k.Radius * sky.R200Mpc(float64(c.NGal))
+		krows[i] = k
+		probes[i] = zone.Probe{Ra: c.Ra, Dec: c.Dec, R: rads[i]}
+		lists[i] = []Member{{ClusterObjID: c.ObjID, GalaxyObjID: c.ObjID, Distance: 0}}
+	}
+	p := f.Params
+	err := zone.BatchSearch(f.zoneT, f.ZoneHeight, probes, func(pi int, zr zone.ZoneRow) {
+		c := &clusters[pi]
+		k := &krows[pi]
+		if zr.ObjID == c.ObjID || zr.Distance >= rads[pi] {
+			return
+		}
+		if zr.I < c.I-0.001 || zr.I > k.Ilim {
+			return
+		}
+		if zr.Gr < k.Gr-p.GrPopSigma || zr.Gr > k.Gr+p.GrPopSigma {
+			return
+		}
+		if zr.Ri < k.Ri-p.RiPopSigma || zr.Ri > k.Ri+p.RiPopSigma {
+			return
+		}
+		lists[pi] = append(lists[pi], Member{ClusterObjID: c.ObjID, GalaxyObjID: zr.ObjID, Distance: zr.Distance})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return lists, nil
 }
 
 // TaskReport is the per-task measurement block of one DBFinder run: the
@@ -535,36 +697,39 @@ func (f *DBFinder) Run(target astro.Box, includeMembers bool) (*Result, TaskRepo
 	return res, report, err
 }
 
+// readCandidates scans a candidate-schema table back into memory in
+// clustered (objid) order.
+func (f *DBFinder) readCandidates(t *sqldb.Table) ([]Candidate, error) {
+	cur, err := t.Scan()
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []Candidate
+	for cur.Next() {
+		row := cur.Row()
+		var c Candidate
+		c.ObjID, _ = row[0].AsInt()
+		c.Ra, _ = row[1].AsFloat()
+		c.Dec, _ = row[2].AsFloat()
+		c.Z, _ = row[3].AsFloat()
+		c.I, _ = row[4].AsFloat()
+		ngal, _ := row[5].AsInt()
+		c.NGal = int(ngal)
+		c.Chi2, _ = row[6].AsFloat()
+		out = append(out, c)
+	}
+	return out, cur.Err()
+}
+
 // Result reads the output tables back into a Result ordered by ObjID.
 func (f *DBFinder) Result() (*Result, error) {
 	res := &Result{}
-	readCands := func(t *sqldb.Table) ([]Candidate, error) {
-		cur, err := t.Scan()
-		if err != nil {
-			return nil, err
-		}
-		defer cur.Close()
-		var out []Candidate
-		for cur.Next() {
-			row := cur.Row()
-			var c Candidate
-			c.ObjID, _ = row[0].AsInt()
-			c.Ra, _ = row[1].AsFloat()
-			c.Dec, _ = row[2].AsFloat()
-			c.Z, _ = row[3].AsFloat()
-			c.I, _ = row[4].AsFloat()
-			ngal, _ := row[5].AsInt()
-			c.NGal = int(ngal)
-			c.Chi2, _ = row[6].AsFloat()
-			out = append(out, c)
-		}
-		return out, cur.Err()
-	}
 	var err error
-	if res.Candidates, err = readCands(f.candT); err != nil {
+	if res.Candidates, err = f.readCandidates(f.candT); err != nil {
 		return nil, err
 	}
-	if res.Clusters, err = readCands(f.clusterT); err != nil {
+	if res.Clusters, err = f.readCandidates(f.clusterT); err != nil {
 		return nil, err
 	}
 	cur, err := f.memberT.Scan()

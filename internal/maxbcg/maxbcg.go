@@ -119,7 +119,17 @@ func chiSquareTable(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, out []chiRow) []c
 	iVar := p.IPopSigma * p.IPopSigma
 	grVar := g.SigmaGr*g.SigmaGr + p.GrPopSigma*p.GrPopSigma
 	riVar := g.SigmaRi*g.SigmaRi + p.RiPopSigma*p.RiPopSigma
-	for k := range kcorr.Rows {
+	// Each χ² term alone bounds the reachable redshifts: χ² ≥
+	// (i−k.i)²/σᵢ², so only rows with |i−k.i| < √cutoff·σᵢ can pass, and
+	// likewise for the two colour terms. The ridge lines I(z), Gr(z),
+	// Ri(z) are monotone in z, so binary searches replace the full-table
+	// scan (ChiBand degrades to the full range for non-monotone columns).
+	sc := math.Sqrt(p.Chi2Cutoff)
+	dI := sc * p.IPopSigma
+	dGr := sc * math.Sqrt(grVar)
+	dRi := sc * math.Sqrt(riVar)
+	lo, hi := kcorr.ChiBand(g.I-dI, g.I+dI, g.Gr-dGr, g.Gr+dGr, g.Ri-dRi, g.Ri+dRi)
+	for k := lo; k < hi; k++ {
 		row := &kcorr.Rows[k]
 		di := g.I - row.I
 		dgr := g.Gr - row.Gr
@@ -162,42 +172,28 @@ func searchWindows(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, rows []chiRow) win
 	return w
 }
 
-// BCGCandidate reproduces fBCGCandidate for one galaxy: the χ² filter, the
-// windowed neighbour count per redshift, and the weighted-likelihood
-// maximisation. It returns (candidate, true) when the galaxy is a BCG
-// candidate at some redshift with at least one neighbour.
-func BCGCandidate(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, s Searcher) (Candidate, bool, error) {
-	var scratch [64]chiRow
-	rows := chiSquareTable(p, g, kcorr, scratch[:0])
-	if len(rows) == 0 {
-		return Candidate{}, false, nil
+// acceptFriend applies the aggregated search windows to one delivered
+// neighbour: the buffered @friends filter of fBCGCandidate, shared by the
+// per-probe and batched candidate paths.
+func acceptFriend(g *sky.Galaxy, w *windows, n *Neighbor) bool {
+	if n.ObjID == g.ObjID {
+		return false
 	}
-	w := searchWindows(p, g, kcorr, rows)
-
-	// Collect friends: neighbours within the widest windows. The
-	// per-redshift re-filter below needs every friend for every row, so
-	// they are buffered (the paper's @friends table variable).
-	var friends []Neighbor
-	err := s.Search(g.Ra, g.Dec, w.rad, func(n Neighbor) {
-		if n.ObjID == g.ObjID {
-			return
-		}
-		if n.I < w.imin || n.I > w.imax {
-			return
-		}
-		if n.Gr < w.grmin || n.Gr > w.grmax {
-			return
-		}
-		if n.Ri < w.rimin || n.Ri > w.rimax {
-			return
-		}
-		friends = append(friends, n)
-	})
-	if err != nil {
-		return Candidate{}, false, err
+	if n.I < w.imin || n.I > w.imax {
+		return false
 	}
+	if n.Gr < w.grmin || n.Gr > w.grmax {
+		return false
+	}
+	return n.Ri >= w.rimin && n.Ri <= w.rimax
+}
 
-	// Count neighbours per surviving redshift (the paper's @counts).
+// finishCandidate runs the tail of fBCGCandidate over the buffered friends:
+// the per-redshift neighbour count (the paper's @counts) and the weighted
+// likelihood maximisation. Both search paths funnel through it, so a
+// candidate's values depend only on the friend set, not on how the
+// neighbour search delivered it.
+func finishCandidate(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, rows []chiRow, friends []Neighbor) (Candidate, bool) {
 	for ri := range rows {
 		k := &kcorr.Rows[rows[ri].zid-1]
 		n := 0
@@ -228,7 +224,7 @@ func BCGCandidate(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, s Searcher) (Candid
 		}
 	}
 	if bestIdx < 0 {
-		return Candidate{}, false, nil
+		return Candidate{}, false
 	}
 	k := &kcorr.Rows[rows[bestIdx].zid-1]
 	return Candidate{
@@ -236,7 +232,35 @@ func BCGCandidate(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, s Searcher) (Candid
 		Z: k.Z, I: g.I,
 		NGal: rows[bestIdx].ngal + 1,
 		Chi2: best,
-	}, true, nil
+	}, true
+}
+
+// BCGCandidate reproduces fBCGCandidate for one galaxy: the χ² filter, the
+// windowed neighbour count per redshift, and the weighted-likelihood
+// maximisation. It returns (candidate, true) when the galaxy is a BCG
+// candidate at some redshift with at least one neighbour.
+func BCGCandidate(p Params, g *sky.Galaxy, kcorr *sky.Kcorr, s Searcher) (Candidate, bool, error) {
+	var scratch [64]chiRow
+	rows := chiSquareTable(p, g, kcorr, scratch[:0])
+	if len(rows) == 0 {
+		return Candidate{}, false, nil
+	}
+	w := searchWindows(p, g, kcorr, rows)
+
+	// Collect friends: neighbours within the widest windows. The
+	// per-redshift re-filter needs every friend for every row, so they are
+	// buffered (the paper's @friends table variable).
+	var friends []Neighbor
+	err := s.Search(g.Ra, g.Dec, w.rad, func(n Neighbor) {
+		if acceptFriend(g, &w, &n) {
+			friends = append(friends, n)
+		}
+	})
+	if err != nil {
+		return Candidate{}, false, err
+	}
+	c, ok := finishCandidate(p, g, kcorr, rows, friends)
+	return c, ok, nil
 }
 
 // CandidateSearcher finds candidate BCGs near a position; implementations

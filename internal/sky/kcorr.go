@@ -14,6 +14,8 @@ package sky
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/astro"
 )
@@ -35,6 +37,16 @@ type KcorrRow struct {
 // Kcorr is the full lookup table, ordered by increasing redshift.
 type Kcorr struct {
 	Rows []KcorrRow
+
+	// Band caching: whether the ridge-line magnitude and colour columns
+	// are monotone nondecreasing in redshift, checked once on first
+	// ChiBand call. The analytic model's I(z), Gr(z), Ri(z) all are;
+	// hand-built tables may not be, and a non-monotone column simply does
+	// not narrow the band.
+	bandOnce sync.Once
+	iSorted  bool
+	grSorted bool
+	riSorted bool
 }
 
 // Cosmological and population constants for the analytic model. The paper's
@@ -138,6 +150,56 @@ func (k *Kcorr) LookupExact(z float64) (KcorrRow, bool) {
 		return r, true
 	}
 	return KcorrRow{}, false
+}
+
+// ChiBand returns the half-open index range of rows whose ridge-line
+// magnitude I lies in [iMin, iMax], colour Gr in [grMin, grMax], and
+// colour Ri in [riMin, riMax]. A BCG's distance modulus and red-sequence
+// colours all grow monotonically with redshift, so each χ² term's
+// reachable rows form one contiguous band and binary searches bound the
+// scan; the result is their intersection (possibly empty: hi <= lo). A
+// non-monotone column — possible in hand-built tables — contributes the
+// full range, so the result is always a safe superset of the rows that can
+// pass the filter.
+func (k *Kcorr) ChiBand(iMin, iMax, grMin, grMax, riMin, riMax float64) (lo, hi int) {
+	k.bandOnce.Do(func() {
+		k.iSorted, k.grSorted, k.riSorted = true, true, true
+		for i := 1; i < len(k.Rows); i++ {
+			if k.Rows[i].I < k.Rows[i-1].I {
+				k.iSorted = false
+			}
+			if k.Rows[i].Gr < k.Rows[i-1].Gr {
+				k.grSorted = false
+			}
+			if k.Rows[i].Ri < k.Rows[i-1].Ri {
+				k.riSorted = false
+			}
+		}
+	})
+	lo, hi = 0, len(k.Rows)
+	narrow := func(get func(*KcorrRow) float64, min, max float64) {
+		l := sort.Search(len(k.Rows), func(i int) bool { return get(&k.Rows[i]) >= min })
+		h := sort.Search(len(k.Rows), func(i int) bool { return get(&k.Rows[i]) > max })
+		if l > lo {
+			lo = l
+		}
+		if h < hi {
+			hi = h
+		}
+	}
+	if k.iSorted {
+		narrow(func(r *KcorrRow) float64 { return r.I }, iMin, iMax)
+	}
+	if k.grSorted {
+		narrow(func(r *KcorrRow) float64 { return r.Gr }, grMin, grMax)
+	}
+	if k.riSorted {
+		narrow(func(r *KcorrRow) float64 { return r.Ri }, riMin, riMax)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
 }
 
 // Steps returns the number of redshift rows.

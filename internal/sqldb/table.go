@@ -108,11 +108,16 @@ func (t *Table) keyPrefixFor(v Value) ([]byte, error) {
 
 // keyPrefixForVals encodes bounds on the leading len(vals) key columns.
 func (t *Table) keyPrefixForVals(vals []Value) ([]byte, error) {
+	return t.appendKeyPrefix(nil, vals)
+}
+
+// appendKeyPrefix is keyPrefixForVals into a caller-owned buffer, so scan
+// loops that re-seek per zone can encode bounds without allocating.
+func (t *Table) appendKeyPrefix(key []byte, vals []Value) ([]byte, error) {
 	if len(t.KeyCols) < len(vals) {
 		return nil, fmt.Errorf("sqldb: table %s clustered key has %d columns, prefix needs %d",
 			t.Name, len(t.KeyCols), len(vals))
 	}
-	var key []byte
 	for i, v := range vals {
 		ci := t.KeyCols[i]
 		key = append(key, 1)
@@ -202,8 +207,17 @@ func decodeRowInto(cols []Column, data []byte, row []Value) error {
 	if len(data) < nb {
 		return fmt.Errorf("sqldb: row data shorter than null bitmap")
 	}
-	pos := nb
-	for i, c := range cols {
+	_, err := decodeCols(cols, data, row, 0, len(cols), nb)
+	return err
+}
+
+// decodeCols decodes columns [from, to) of an encodeRow payload into row,
+// resuming at byte offset pos (pass (len(cols)+7)/8, the end of the null
+// bitmap, with from = 0). It returns the offset after column to-1 so a
+// later call can decode the remaining columns of the same row.
+func decodeCols(cols []Column, data []byte, row []Value, from, to, pos int) (int, error) {
+	for i := from; i < to; i++ {
+		c := cols[i]
 		if data[i/8]&(1<<(i%8)) != 0 {
 			row[i] = Null()
 			continue
@@ -212,33 +226,33 @@ func decodeRowInto(cols []Column, data []byte, row []Value) error {
 		case TInt:
 			v, n := binary.Varint(data[pos:])
 			if n <= 0 {
-				return fmt.Errorf("sqldb: corrupt int in column %s", c.Name)
+				return pos, fmt.Errorf("sqldb: corrupt int in column %s", c.Name)
 			}
 			pos += n
 			row[i] = Int(v)
 		case TFloat:
 			if pos+8 > len(data) {
-				return fmt.Errorf("sqldb: corrupt float in column %s", c.Name)
+				return pos, fmt.Errorf("sqldb: corrupt float in column %s", c.Name)
 			}
 			row[i] = Float(math.Float64frombits(binary.LittleEndian.Uint64(data[pos:])))
 			pos += 8
 		case TString:
 			l, n := binary.Uvarint(data[pos:])
 			if n <= 0 || pos+n+int(l) > len(data) {
-				return fmt.Errorf("sqldb: corrupt string in column %s", c.Name)
+				return pos, fmt.Errorf("sqldb: corrupt string in column %s", c.Name)
 			}
 			pos += n
 			row[i] = String(string(data[pos : pos+int(l)]))
 			pos += int(l)
 		case TBool:
 			if pos >= len(data) {
-				return fmt.Errorf("sqldb: corrupt bool in column %s", c.Name)
+				return pos, fmt.Errorf("sqldb: corrupt bool in column %s", c.Name)
 			}
 			row[i] = Bool(data[pos] != 0)
 			pos++
 		}
 	}
-	return nil
+	return pos, nil
 }
 
 // Insert adds a row (values in schema order; Identity columns auto-fill
@@ -286,13 +300,23 @@ func (t *Table) Insert(row []Value) error {
 	return nil
 }
 
-// TableCursor streams rows in clustered-key order.
+// TableCursor streams rows in clustered-key order. Columns decode lazily:
+// Next materialises only the leading eager columns (all of them unless
+// SetEagerColumns narrowed the set) and Row completes the rest on demand,
+// so scan loops that reject most rows on a key-side prefix never pay for
+// the tail of the row.
 type TableCursor struct {
-	table  *Table
-	cur    *storage.Cursor
-	endKey []byte // scan stops when key prefix exceeds endKey (inclusive bound)
-	row    []Value
-	err    error
+	table   *Table
+	cur     *storage.Cursor
+	endKey  []byte // scan stops when key prefix exceeds endKey (inclusive bound)
+	row     []Value
+	raw     []byte // current row payload (aliases the storage cursor's buffer)
+	pos     int    // decode offset into raw
+	decoded int    // leading columns of raw already decoded into row
+	eager   int    // columns Next decodes per row; 0 = all
+	started bool
+	err     error
+	keyBuf  []byte // bound-encoding scratch reused across RangeScanPrefixInto calls
 }
 
 // Scan returns a cursor over the whole table.
@@ -349,9 +373,60 @@ func (t *Table) RangeScanPrefix(lo, hi []Value) (*TableCursor, error) {
 	return &TableCursor{table: t, cur: c, endKey: end}, nil
 }
 
-// Next advances and reports whether a row is available via Row.
+// RangeScanPrefixInto is RangeScanPrefix reusing cursor c — its storage
+// cursor, row buffer, and key scratch — when non-nil (pass nil to allocate
+// one). A single cursor can serve an entire batched zone join: each call
+// costs one tree descent and no allocation.
+func (t *Table) RangeScanPrefixInto(lo, hi []Value, c *TableCursor) (*TableCursor, error) {
+	if c != nil && c.table != t {
+		c.Close() // release the other table's pin before abandoning it
+		c = nil
+	}
+	if c == nil {
+		c = &TableCursor{table: t, cur: &storage.Cursor{}}
+	}
+	buf, err := t.appendKeyPrefix(c.keyBuf[:0], lo)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	mark := len(buf)
+	buf, err = t.appendKeyPrefix(buf, hi)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.keyBuf = buf
+	c.endKey = buf[mark:]
+	c.started = false
+	c.err = nil
+	c.raw = nil
+	c.decoded = 0
+	if err := t.tree.SeekInto(buf[:mark], c.cur); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Next advances and reports whether a row is available via Row. The
+// underlying storage cursor advances lazily — on the following Next, not
+// eagerly — so the raw page bytes stay addressable while the caller
+// inspects the row.
 func (c *TableCursor) Next() bool {
-	if c.err != nil || !c.cur.Valid() {
+	if c.err != nil {
+		return false
+	}
+	if c.started {
+		if !c.cur.Valid() {
+			return false
+		}
+		if err := c.cur.Next(); err != nil {
+			c.err = err
+			return false
+		}
+	}
+	c.started = true
+	if !c.cur.Valid() {
 		return false
 	}
 	key := c.cur.Key()
@@ -368,17 +443,62 @@ func (c *TableCursor) Next() bool {
 	if c.row == nil {
 		c.row = make([]Value, len(c.table.Cols))
 	}
-	if err := decodeRowInto(c.table.Cols, c.cur.Value(), c.row); err != nil {
+	c.raw = c.cur.Value()
+	nb := (len(c.table.Cols) + 7) / 8
+	if len(c.raw) < nb {
+		c.err = fmt.Errorf("sqldb: row data shorter than null bitmap")
+		return false
+	}
+	c.pos = nb
+	c.decoded = 0
+	eager := c.eager
+	if eager <= 0 || eager > len(c.table.Cols) {
+		eager = len(c.table.Cols)
+	}
+	return c.decodeTo(eager)
+}
+
+// decodeTo extends the decoded prefix of the current row to n columns.
+func (c *TableCursor) decodeTo(n int) bool {
+	if c.err != nil || c.raw == nil {
+		// No current row (Next not yet called, or the scan ended).
+		return false
+	}
+	if n <= c.decoded {
+		return true
+	}
+	pos, err := decodeCols(c.table.Cols, c.raw, c.row, c.decoded, n, c.pos)
+	if err != nil {
+		// Null the undecoded tail so a caller that ignores the error does
+		// not see the previous row's values in those columns.
+		for i := c.decoded; i < len(c.table.Cols); i++ {
+			c.row[i] = Null()
+		}
 		c.err = err
 		return false
 	}
-	c.err = c.cur.Next()
+	c.pos, c.decoded = pos, n
 	return true
 }
 
-// Row returns the current row. The slice is reused by the next call to
-// Next; callers that retain rows must copy them.
-func (c *TableCursor) Row() []Value { return c.row }
+// Row returns the current row, fully decoded. The slice is reused by the
+// next call to Next; callers that retain rows must copy them.
+func (c *TableCursor) Row() []Value {
+	c.decodeTo(len(c.table.Cols))
+	return c.row
+}
+
+// RowPrefix returns the first n columns of the current row without decoding
+// the rest (Row later completes them). Check Err after the scan: a decode
+// failure surfaces there rather than stopping Next.
+func (c *TableCursor) RowPrefix(n int) []Value {
+	c.decodeTo(n)
+	return c.row[:n]
+}
+
+// SetEagerColumns limits the columns Next decodes per row to the first n;
+// 0 restores full decode. The setting survives RangeScanPrefixInto reuse.
+func (c *TableCursor) SetEagerColumns(n int) { c.eager = n }
 
 // Err returns the first error encountered.
 func (c *TableCursor) Err() error { return c.err }

@@ -375,13 +375,32 @@ type Cursor struct {
 
 // Seek positions a cursor at the first key >= key.
 func (t *BTree) Seek(key []byte) (*Cursor, error) {
+	c := &Cursor{}
+	if err := t.SeekInto(key, c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// SeekInto positions c at the first key >= key, releasing any pin it still
+// holds and reusing its key/value buffers. Repeated seeks through one
+// cursor cost a tree descent but no allocation; the batched zone join
+// re-seeks this way once per zone instead of building a cursor per probe.
+func (t *BTree) SeekInto(key []byte, c *Cursor) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if c.h != nil {
+		c.h.Release(false)
+		c.h = nil
+	}
+	c.tree = t
+	c.valid = false
 	id := t.root
 	for {
 		h, err := t.pool.Get(id)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if h.Buf[0] == nodeInternal {
 			id = childFor(h.Buf, key)
@@ -390,12 +409,9 @@ func (t *BTree) Seek(key []byte) (*Cursor, error) {
 		}
 		p := AsSlotted(h.Buf, nodeReserve)
 		idx, _ := search(p, key, true)
-		c := &Cursor{tree: t, h: h, slot: idx}
-		if err := c.load(); err != nil {
-			c.Close()
-			return nil, err
-		}
-		return c, nil
+		c.h = h
+		c.slot = idx
+		return c.load()
 	}
 }
 

@@ -1,0 +1,178 @@
+package zone
+
+import (
+	"sort"
+
+	"repro/internal/astro"
+	"repro/internal/sqldb"
+)
+
+// Batched zone join: the per-probe SearchTable plan costs one B-tree
+// descent, one cursor, and one row decode per probe per overlapping zone.
+// When the caller has many probes at once (spMakeCandidates visits every
+// galaxy of the buffered area), the grid-file observation applies: probes
+// sorted in index order should be answered by a merge sweep, not repeated
+// point lookups. BatchSearch sorts every probe's (zone, ra-window)
+// obligation by (zone, ra) and drives one synchronized cursor per zone
+// through the clustered (zoneid, ra) order, testing each fetched row
+// against exactly the probes whose window covers it.
+
+// Probe is one centre of a batched neighbour search: a position and a
+// search radius, all in degrees.
+type Probe struct {
+	Ra, Dec, R float64
+}
+
+// batchWindow is one (zone, ra-interval) scan obligation of one probe.
+type batchWindow struct {
+	zone   int
+	probe  int32
+	lo, hi float64
+}
+
+// chordTestCols is how many leading zone-table columns the chord test
+// reads: zoneid, objid, ra, dec, cx, cy, cz. The photometry tail
+// (i, gr, ri) decodes only for rows inside some probe's radius.
+const chordTestCols = 7
+
+// BatchSearch answers every probe against the zone table in one pass and
+// calls fn(probe index, neighbour row) for each hit. Per probe it emits
+// rows in the same (zone ascending, ra ascending) order as SearchTable, and
+// the chord arithmetic is identical, so the two paths agree bitwise; hits
+// of different probes interleave. Probes with negative radius match
+// nothing, like SearchTable.
+func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
+	if len(probes) == 0 {
+		return nil
+	}
+	centers := make([]astro.Vec3, len(probes))
+	r2s := make([]float64, len(probes))
+	var ws []batchWindow
+	for pi := range probes {
+		p := &probes[pi]
+		if p.R < 0 {
+			continue
+		}
+		centers[pi] = astro.UnitVector(p.Ra, p.Dec)
+		r2s[pi] = astro.Chord2FromAngle(p.R)
+		minZ, maxZ := astro.ZoneRange(p.Dec, p.R, heightDeg)
+		for z := minZ; z <= maxZ; z++ {
+			x := astro.RaHalfWidth(p.Dec, p.R, z, heightDeg)
+			segs, n := astro.RaWindows(p.Ra, x)
+			for s := 0; s < n; s++ {
+				ws = append(ws, batchWindow{zone: z, probe: int32(pi), lo: segs[s][0], hi: segs[s][1]})
+			}
+		}
+	}
+	sort.Slice(ws, func(a, b int) bool {
+		if ws[a].zone != ws[b].zone {
+			return ws[a].zone < ws[b].zone
+		}
+		return ws[a].lo < ws[b].lo
+	})
+
+	var (
+		cur    *sqldb.TableCursor
+		active []batchWindow
+		err    error
+	)
+	defer func() {
+		if cur != nil {
+			cur.Close()
+		}
+	}()
+	for i := 0; i < len(ws); {
+		j := i
+		for j < len(ws) && ws[j].zone == ws[i].zone {
+			j++
+		}
+		if cur, active, err = sweepZone(t, ws[i:j], cur, active, centers, r2s, fn); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+// sweepZone merges one zone's windows (sorted by lo) against the zone's
+// rows with a single forward cursor: windows activate as the scan reaches
+// their lower ra bound, expire past their upper bound, and the cursor
+// re-seeks only across gaps no window covers. Each row is decoded once and
+// tested against the active windows.
+func sweepZone(t *sqldb.Table, ws []batchWindow, cur *sqldb.TableCursor, active []batchWindow,
+	centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) (*sqldb.TableCursor, []batchWindow, error) {
+	zoneVal := sqldb.Int(int64(ws[0].zone))
+	loVals := [2]sqldb.Value{zoneVal, {}}
+	hiVals := [1]sqldb.Value{zoneVal} // inclusive bound on the whole zone
+	active = active[:0]
+	k := 0
+	for k < len(ws) {
+		loVals[1] = sqldb.Float(ws[k].lo)
+		var err error
+		cur, err = t.RangeScanPrefixInto(loVals[:], hiVals[:], cur)
+		if err != nil {
+			return cur, active[:0], err
+		}
+		cur.SetEagerColumns(chordTestCols)
+		reseek := false
+		for cur.Next() {
+			row := cur.RowPrefix(chordTestCols)
+			ra, _ := row[2].AsFloat()
+			for k < len(ws) && ws[k].lo <= ra {
+				active = append(active, ws[k])
+				k++
+			}
+			keep := active[:0]
+			for _, w := range active {
+				if w.hi >= ra {
+					keep = append(keep, w)
+				}
+			}
+			active = keep
+			if len(active) == 0 {
+				if k >= len(ws) {
+					break
+				}
+				// Gap: the next window starts beyond this row.
+				reseek = true
+				break
+			}
+			cx, _ := row[4].AsFloat()
+			cy, _ := row[5].AsFloat()
+			cz, _ := row[6].AsFloat()
+			var out ZoneRow
+			decoded := false
+			for _, w := range active {
+				c := &centers[w.probe]
+				dx := cx - c.X
+				dy := cy - c.Y
+				dz := cz - c.Z
+				c2 := dx*dx + dy*dy + dz*dz
+				if c2 >= r2s[w.probe] {
+					continue
+				}
+				if !decoded {
+					full := cur.Row()
+					out.ObjID, _ = full[1].AsInt()
+					out.Ra, _ = full[2].AsFloat()
+					out.Dec, _ = full[3].AsFloat()
+					out.I, _ = full[7].AsFloat()
+					out.Gr, _ = full[8].AsFloat()
+					out.Ri, _ = full[9].AsFloat()
+					decoded = true
+				}
+				out.Distance = chordDeg(c2)
+				fn(int(w.probe), out)
+			}
+		}
+		if err := cur.Err(); err != nil {
+			return cur, active[:0], err
+		}
+		if !reseek {
+			// The zone ran out of rows; windows past the last row see
+			// nothing.
+			break
+		}
+	}
+	return cur, active[:0], nil
+}

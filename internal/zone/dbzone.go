@@ -94,38 +94,41 @@ func SearchTable(t *sqldb.Table, heightDeg, raDeg, decDeg, rDeg float64, fn func
 	minZ, maxZ := astro.ZoneRange(decDeg, rDeg, heightDeg)
 	for z := minZ; z <= maxZ; z++ {
 		x := astro.RaHalfWidth(decDeg, rDeg, z, heightDeg)
-		cur, err := t.RangeScanPrefix(
-			[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(raDeg - x)},
-			[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(raDeg + x)},
-		)
-		if err != nil {
-			return err
-		}
-		for cur.Next() {
-			row := cur.Row()
-			cx, _ := row[4].AsFloat()
-			cy, _ := row[5].AsFloat()
-			cz, _ := row[6].AsFloat()
-			dx := cx - center.X
-			dy := cy - center.Y
-			dz := cz - center.Z
-			c2 := dx*dx + dy*dy + dz*dz
-			if c2 < r2 {
-				var out ZoneRow
-				out.ObjID, _ = row[1].AsInt()
-				out.Ra, _ = row[2].AsFloat()
-				out.Dec, _ = row[3].AsFloat()
-				out.Distance = chordDeg(c2)
-				out.I, _ = row[7].AsFloat()
-				out.Gr, _ = row[8].AsFloat()
-				out.Ri, _ = row[9].AsFloat()
-				fn(out)
+		segs, ns := astro.RaWindows(raDeg, x)
+		for s := 0; s < ns; s++ {
+			cur, err := t.RangeScanPrefix(
+				[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(segs[s][0])},
+				[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(segs[s][1])},
+			)
+			if err != nil {
+				return err
 			}
-		}
-		err = cur.Err()
-		cur.Close()
-		if err != nil {
-			return err
+			for cur.Next() {
+				row := cur.Row()
+				cx, _ := row[4].AsFloat()
+				cy, _ := row[5].AsFloat()
+				cz, _ := row[6].AsFloat()
+				dx := cx - center.X
+				dy := cy - center.Y
+				dz := cz - center.Z
+				c2 := dx*dx + dy*dy + dz*dz
+				if c2 < r2 {
+					var out ZoneRow
+					out.ObjID, _ = row[1].AsInt()
+					out.Ra, _ = row[2].AsFloat()
+					out.Dec, _ = row[3].AsFloat()
+					out.Distance = chordDeg(c2)
+					out.I, _ = row[7].AsFloat()
+					out.Gr, _ = row[8].AsFloat()
+					out.Ri, _ = row[9].AsFloat()
+					fn(out)
+				}
+			}
+			err = cur.Err()
+			cur.Close()
+			if err != nil {
+				return err
+			}
 		}
 	}
 	return nil

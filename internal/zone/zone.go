@@ -117,12 +117,15 @@ func (x *Index) Visit(raDeg, decDeg, rDeg float64, fn func(Neighbor)) {
 			continue
 		}
 		xw := astro.RaHalfWidth(decDeg, rDeg, z, x.height)
-		loRa, hiRa := raDeg-xw, raDeg+xw
-		lo := sort.Search(len(es), func(i int) bool { return es[i].Ra >= loRa })
-		for i := lo; i < len(es) && es[i].Ra <= hiRa; i++ {
-			c2 := center.Chord2(es[i].Vec)
-			if c2 < r2 {
-				fn(Neighbor{Entry: es[i], Distance: chordDeg(c2)})
+		segs, ns := astro.RaWindows(raDeg, xw)
+		for s := 0; s < ns; s++ {
+			loRa, hiRa := segs[s][0], segs[s][1]
+			lo := sort.Search(len(es), func(i int) bool { return es[i].Ra >= loRa })
+			for i := lo; i < len(es) && es[i].Ra <= hiRa; i++ {
+				c2 := center.Chord2(es[i].Vec)
+				if c2 < r2 {
+					fn(Neighbor{Entry: es[i], Distance: chordDeg(c2)})
+				}
 			}
 		}
 	}
