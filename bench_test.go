@@ -7,6 +7,7 @@ package gridbcg
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -417,6 +418,67 @@ func BenchmarkAblationBatchVsProbe(b *testing.B) {
 	}
 	b.Run("Batch", func(b *testing.B) { run(b, maxbcg.SearchBatch) })
 	b.Run("Probe", func(b *testing.B) { run(b, maxbcg.SearchProbe) })
+}
+
+// BenchmarkBulkVsInsert is the ingest ablation: loading one table through
+// Table.BulkInsert (encode once, sort the run, write packed pages
+// bottom-up) versus per-row Insert (one root-to-leaf descent per row), on
+// the zone-table schema the paper's spZone rebuilds. Rows arrive in random
+// order so the bulk path pays for its sort.
+func BenchmarkBulkVsInsert(b *testing.B) {
+	b.ReportAllocs()
+	cols := []sqldb.Column{
+		{Name: "zoneid", Type: sqldb.TInt},
+		{Name: "ra", Type: sqldb.TFloat},
+		{Name: "dec", Type: sqldb.TFloat},
+		{Name: "objid", Type: sqldb.TInt},
+		{Name: "i", Type: sqldb.TFloat},
+	}
+	makeRows := func(n int) [][]sqldb.Value {
+		rng := rand.New(rand.NewSource(20040801))
+		rows := make([][]sqldb.Value, n)
+		for i := range rows {
+			rows[i] = []sqldb.Value{
+				sqldb.Int(int64(rng.Intn(400))),
+				sqldb.Float(rng.Float64() * 360),
+				sqldb.Float(rng.Float64()*180 - 90),
+				sqldb.Int(int64(i)),
+				sqldb.Float(rng.Float64() * 25),
+			}
+		}
+		return rows
+	}
+	for _, n := range []int{1000, 100000} {
+		rows := makeRows(n)
+		b.Run(fmt.Sprintf("Bulk-%drows", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := sqldb.Open(256)
+				t, err := db.CreateTableClustered("z", cols, []string{"zoneid", "ra"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := t.BulkInsert(rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Insert-%drows", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := sqldb.Open(256)
+				t, err := db.CreateTableClustered("z", cols, []string{"zoneid", "ra"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range rows {
+					if err := t.Insert(r); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationEarlyFilter removes the χ² early filter (cutoff → ∞) so

@@ -1,0 +1,219 @@
+// Command benchgate is the CI benchmark gate: it parses `go test -bench`
+// output, compares one benchmark's metric against the newest BENCH_*.json
+// snapshot in the repo, fails on regression past a threshold, and writes a
+// fresh snapshot for upload as a workflow artifact.
+//
+// Usage:
+//
+//	go test -bench BenchmarkTable1NoPartition -benchtime 1x -run '^$' . | \
+//	  go run ./cmd/benchgate -bench BenchmarkTable1NoPartition \
+//	    -metric elapsed_s -threshold 0.20 -out BENCH_ci.json
+//
+// Snapshots use the BENCH_N.json layout: {"note", "cpu", "benchmarks":
+// {name: {metric: value}}}. The baseline is the BENCH_<N>.json with the
+// highest N in -dir.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	inputFlag     = flag.String("input", "-", "bench output file, or - for stdin")
+	dirFlag       = flag.String("dir", ".", "directory holding BENCH_*.json baselines")
+	benchFlag     = flag.String("bench", "BenchmarkTable1NoPartition", "benchmark to gate on")
+	metricFlag    = flag.String("metric", "elapsed_s", "metric to gate on (elapsed_s, ns_per_op, ...)")
+	thresholdFlag = flag.Float64("threshold", 0.20, "fail when metric exceeds baseline by this fraction")
+	outFlag       = flag.String("out", "", "write a fresh snapshot JSON here (empty = skip)")
+	noteFlag      = flag.String("note", "CI benchmark snapshot (benchgate)", "note stored in the snapshot")
+)
+
+// snapshot mirrors the BENCH_N.json layout.
+type snapshot struct {
+	Note       string                        `json:"note"`
+	CPU        string                        `json:"cpu,omitempty"`
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// metricNames maps `go test -bench` units to snapshot metric keys.
+var metricNames = map[string]string{
+	"ns/op":     "ns_per_op",
+	"B/op":      "bytes_per_op",
+	"allocs/op": "allocs_per_op",
+}
+
+// metricKey normalises a bench output unit (elapsed-s, io-ops, ...) to its
+// snapshot key (elapsed_s, io_ops, ...).
+func metricKey(unit string) string {
+	if k, ok := metricNames[unit]; ok {
+		return k
+	}
+	return strings.NewReplacer("-", "_", "/", "_per_").Replace(unit)
+}
+
+// gomaxprocsSuffix strips the trailing -N that `go test` appends to
+// benchmark names (GOMAXPROCS), leaving sub-benchmark paths intact.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output and returns per-benchmark
+// metrics and the reported cpu model. Repeated runs of one benchmark
+// (go test -count N) keep the per-metric minimum — the standard anti-noise
+// choice when gating wall-clock metrics on shared hardware.
+func parseBench(r io.Reader) (map[string]map[string]float64, string, error) {
+	out := make(map[string]map[string]float64)
+	cpu := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // header line like "BenchmarkFoo" alone, or goos/goarch
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		m := out[name]
+		if m == nil {
+			m = make(map[string]float64)
+			out[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("benchgate: bad value %q on line %q", fields[i], line)
+			}
+			k := metricKey(fields[i+1])
+			if prev, ok := m[k]; !ok || v < prev {
+				m[k] = v
+			}
+		}
+	}
+	return out, cpu, sc.Err()
+}
+
+// latestBaseline returns the BENCH_<N>.json in dir with the highest N.
+var baselineName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+func latestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := baselineName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("benchgate: no BENCH_*.json baseline in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
+}
+
+// gate compares candidate against baseline and returns a human-readable
+// verdict plus whether the gate passes.
+func gate(baseline, candidate, threshold float64) (string, bool) {
+	limit := baseline * (1 + threshold)
+	ratio := candidate / baseline
+	verdict := fmt.Sprintf("baseline %.4g, candidate %.4g (%.1f%% of baseline, limit %.4g)",
+		baseline, candidate, ratio*100, limit)
+	return verdict, candidate <= limit
+}
+
+func run() error {
+	var in io.Reader = os.Stdin
+	if *inputFlag != "-" {
+		f, err := os.Open(*inputFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, cpu, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchgate: no benchmark lines in input")
+	}
+	if *outFlag != "" {
+		snap := snapshot{Note: *noteFlag, CPU: cpu, Benchmarks: results}
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFlag, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchgate: wrote %d benchmark(s) to %s\n", len(results), *outFlag)
+	}
+
+	basePath, err := latestBaseline(*dirFlag)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(basePath)
+	if err != nil {
+		return err
+	}
+	var base snapshot
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchgate: parse %s: %w", basePath, err)
+	}
+	baseMetrics, ok := base.Benchmarks[*benchFlag]
+	if !ok {
+		return fmt.Errorf("benchgate: baseline %s has no %s", basePath, *benchFlag)
+	}
+	baseVal, ok := baseMetrics[*metricFlag]
+	if !ok {
+		return fmt.Errorf("benchgate: baseline %s has no metric %s for %s", basePath, *metricFlag, *benchFlag)
+	}
+	candMetrics, ok := results[*benchFlag]
+	if !ok {
+		return fmt.Errorf("benchgate: bench output has no %s", *benchFlag)
+	}
+	candVal, ok := candMetrics[*metricFlag]
+	if !ok {
+		return fmt.Errorf("benchgate: bench output has no metric %s for %s", *metricFlag, *benchFlag)
+	}
+	verdict, pass := gate(baseVal, candVal, *thresholdFlag)
+	fmt.Printf("benchgate: %s %s vs %s: %s\n", *benchFlag, *metricFlag, filepath.Base(basePath), verdict)
+	if !pass {
+		return fmt.Errorf("benchgate: regression past %.0f%% threshold", *thresholdFlag*100)
+	}
+	fmt.Println("benchgate: OK")
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

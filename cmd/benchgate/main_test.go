@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTable1NoPartition 	       1	 445895302 ns/op	         0.3242 cpu-s	         0.3331 elapsed-s	     91000 galaxies	     30637 io-ops	342049984 B/op	  509885 allocs/op
+BenchmarkBulkVsInsert/Bulk-100000rows-8         	       5	 107342623 ns/op	62228744 B/op	  102654 allocs/op
+PASS
+ok  	repro	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	res, cpu, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	m, ok := res["BenchmarkTable1NoPartition"]
+	if !ok {
+		t.Fatalf("BenchmarkTable1NoPartition missing: %v", res)
+	}
+	if m["ns_per_op"] != 445895302 {
+		t.Errorf("ns_per_op = %g", m["ns_per_op"])
+	}
+	if m["elapsed_s"] != 0.3331 {
+		t.Errorf("elapsed_s = %g", m["elapsed_s"])
+	}
+	if m["io_ops"] != 30637 {
+		t.Errorf("io_ops = %g", m["io_ops"])
+	}
+	if m["bytes_per_op"] != 342049984 || m["allocs_per_op"] != 509885 {
+		t.Errorf("B/op, allocs/op = %g, %g", m["bytes_per_op"], m["allocs_per_op"])
+	}
+	// The -8 GOMAXPROCS suffix strips; the sub-benchmark path stays.
+	sub, ok := res["BenchmarkBulkVsInsert/Bulk-100000rows"]
+	if !ok {
+		t.Fatalf("sub-benchmark name not normalised: %v", res)
+	}
+	if sub["allocs_per_op"] != 102654 {
+		t.Errorf("sub allocs_per_op = %g", sub["allocs_per_op"])
+	}
+}
+
+func TestParseBenchKeepsMinAcrossRepeats(t *testing.T) {
+	repeated := `BenchmarkTable1NoPartition 	1	 500 ns/op	 0.50 elapsed-s
+BenchmarkTable1NoPartition 	1	 400 ns/op	 0.35 elapsed-s
+BenchmarkTable1NoPartition 	1	 450 ns/op	 0.41 elapsed-s
+`
+	res, _, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res["BenchmarkTable1NoPartition"]
+	if m["ns_per_op"] != 400 || m["elapsed_s"] != 0.35 {
+		t.Errorf("min not kept across -count repeats: %v", m)
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json", "BENCH_ci.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric, not lexicographic: BENCH_10 beats BENCH_2, BENCH_ci ignored.
+	if filepath.Base(got) != "BENCH_10.json" {
+		t.Errorf("latestBaseline = %s, want BENCH_10.json", got)
+	}
+	if _, err := latestBaseline(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+func TestGate(t *testing.T) {
+	cases := []struct {
+		base, cand, threshold float64
+		pass                  bool
+	}{
+		{1.0, 1.0, 0.20, true},
+		{1.0, 1.19, 0.20, true},
+		{1.0, 1.21, 0.20, false},
+		{1.0, 0.5, 0.20, true}, // improvements always pass
+		{0.38, 0.47, 0.20, false},
+	}
+	for _, c := range cases {
+		if _, pass := gate(c.base, c.cand, c.threshold); pass != c.pass {
+			t.Errorf("gate(%g, %g, %g) pass = %v, want %v", c.base, c.cand, c.threshold, pass, c.pass)
+		}
+	}
+}

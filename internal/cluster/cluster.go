@@ -92,6 +92,9 @@ type Config struct {
 	// Mode selects each node's neighbour-search access path: the batched
 	// zone join (default) or the per-probe ablation baseline.
 	Mode maxbcg.SearchMode
+	// Ingest selects each node's table-load path: bulk load (default) or
+	// the per-row Insert ablation baseline.
+	Ingest maxbcg.IngestMode
 	// Sequential forces the partitions to run one after another; used to
 	// attribute CPU cleanly when measuring.
 	Sequential bool
@@ -119,6 +122,7 @@ func Run(cat *sky.Catalog, target astro.Box, cfg Config) (*Result, error) {
 			return err
 		}
 		finder.Mode = cfg.Mode
+		finder.Ingest = cfg.Ingest
 		if _, err := finder.ImportGalaxies(cat, part.Import); err != nil {
 			return err
 		}

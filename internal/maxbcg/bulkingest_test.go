@@ -1,0 +1,108 @@
+package maxbcg
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/sky"
+	"repro/internal/sqldb"
+	"repro/internal/zone"
+)
+
+func runDBFinderIngest(t *testing.T, cat *sky.Catalog, target astro.Box, ingest IngestMode) *Result {
+	t.Helper()
+	db := sqldb.Open(0)
+	f, err := NewDBFinder(db, DefaultParams(), cat.Kcorr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Ingest = ingest
+	if _, err := f.ImportGalaxies(cat, cat.Region); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := f.Run(target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestBulkIngestMatchesTrickleIngest is the tentpole's equivalence
+// guarantee: the full pipeline over bulk-loaded tables (Galaxy, Zone,
+// CandZone) must produce bit-identical candidates, clusters, and members
+// to the per-row Insert path it replaces.
+func TestBulkIngestMatchesTrickleIngest(t *testing.T) {
+	cat := batchEquivCatalog(t)
+	target := astro.MustBox(195.4, 196.0, 2.4, 2.8)
+
+	trickle := runDBFinderIngest(t, cat, target, IngestTrickle)
+	bulk := runDBFinderIngest(t, cat, target, IngestBulk)
+
+	if len(trickle.Candidates) == 0 || len(trickle.Clusters) == 0 || len(trickle.Members) == 0 {
+		t.Fatalf("degenerate fixture: %s", trickle.Summary())
+	}
+	if !reflect.DeepEqual(trickle.Candidates, bulk.Candidates) {
+		t.Errorf("candidates differ: trickle %d rows, bulk %d rows",
+			len(trickle.Candidates), len(bulk.Candidates))
+	}
+	if !reflect.DeepEqual(trickle.Clusters, bulk.Clusters) {
+		t.Errorf("clusters differ: trickle %d rows, bulk %d rows",
+			len(trickle.Clusters), len(bulk.Clusters))
+	}
+	if !reflect.DeepEqual(trickle.Members, bulk.Members) {
+		t.Errorf("members differ: trickle %d rows, bulk %d rows",
+			len(trickle.Members), len(bulk.Members))
+	}
+}
+
+// TestZoneTableBulkMatchesTrickle compares the zone table itself between
+// the two load paths: same keys, same rows, same cursor order, row by row.
+func TestZoneTableBulkMatchesTrickle(t *testing.T) {
+	cat := batchEquivCatalog(t)
+	db := sqldb.Open(0)
+	bulkT, err := zone.InstallZoneTable(db, "ZoneBulk", cat.Galaxies, astro.ZoneHeightDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trickleT, err := zone.InstallZoneTableTrickle(db, "ZoneTrickle", cat.Galaxies, astro.ZoneHeightDeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bulkT.NumRows() != trickleT.NumRows() {
+		t.Fatalf("row counts differ: bulk %d, trickle %d", bulkT.NumRows(), trickleT.NumRows())
+	}
+	bc, err := bulkT.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	tc, err := trickleT.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	n := 0
+	for {
+		bOK, tOK := bc.Next(), tc.Next()
+		if bOK != tOK {
+			t.Fatalf("scan lengths diverge at row %d", n)
+		}
+		if !bOK {
+			break
+		}
+		if !reflect.DeepEqual(bc.Row(), tc.Row()) {
+			t.Fatalf("row %d differs between bulk and trickle zone tables", n)
+		}
+		n++
+	}
+	if err := bc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("zone tables are empty")
+	}
+}

@@ -36,6 +36,9 @@ type KcorrRow struct {
 
 // Kcorr is the full lookup table, ordered by increasing redshift.
 type Kcorr struct {
+	// Rows must not be mutated once queries begin: ChiBand latches
+	// per-column monotonicity from the table it first sees, so a later
+	// mutation could silently misprune the band.
 	Rows []KcorrRow
 
 	// Band caching: whether the ridge-line magnitude and colour columns

@@ -1,0 +1,300 @@
+package sqldb
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/storage"
+)
+
+// Bulk-load path: rows are encoded once, sorted by encoded clustered key,
+// and fed page-at-a-time to storage.BulkLoader — replacing the per-row
+// root-to-leaf descent of Insert. This is the MyDB-style batch ingest the
+// paper's workload is made of (spImportGalaxy, spZone rebuilds, the
+// k-correction load): bulk load first, query after.
+
+// sortedRunBytes caps one in-memory run of the SortedRunBuilder before it
+// is sealed (sorted and set aside). Sealing keeps individual sorts short
+// and bounds the cost of ingesting mostly-sorted input; sealed runs merge
+// back into one stream at load time.
+const sortedRunBytes = 16 << 20
+
+// kvRef locates one encoded pair inside its run's slab. Offsets stay valid
+// as the slab grows because append copies the prefix unchanged.
+type kvRef struct {
+	off        int
+	klen, vlen int
+}
+
+// sortedRun is a sealed, key-sorted batch of encoded pairs.
+type sortedRun struct {
+	slab []byte
+	ents []kvRef
+}
+
+func (r *sortedRun) key(i int) []byte {
+	e := r.ents[i]
+	return r.slab[e.off : e.off+e.klen]
+}
+
+func (r *sortedRun) value(i int) []byte {
+	e := r.ents[i]
+	return r.slab[e.off+e.klen : e.off+e.klen+e.vlen]
+}
+
+func (r *sortedRun) sort() {
+	// Stable, so equal keys keep insertion order within a run (Emit's
+	// contract; the cross-run heap breaks ties on run sequence).
+	sort.SliceStable(r.ents, func(a, b int) bool {
+		return bytes.Compare(r.key(a), r.key(b)) < 0
+	})
+}
+
+// SortedRunBuilder buffers encoded (key, value) pairs, sorts them by key,
+// and spills oversized batches into sealed runs, so bulk-load callers need
+// not pre-sort their rows. Emit merges the runs back into one ascending
+// stream — the sort half of a bulk CREATE CLUSTERED INDEX.
+type SortedRunBuilder struct {
+	runs []*sortedRun
+	cur  *sortedRun
+	n    int
+}
+
+// NewSortedRunBuilder returns an empty builder.
+func NewSortedRunBuilder() *SortedRunBuilder {
+	return &SortedRunBuilder{cur: &sortedRun{}}
+}
+
+// Add buffers one pair (both slices are copied).
+func (b *SortedRunBuilder) Add(key, value []byte) {
+	r := b.cur
+	off := len(r.slab)
+	r.slab = append(r.slab, key...)
+	r.slab = append(r.slab, value...)
+	r.ents = append(r.ents, kvRef{off: off, klen: len(key), vlen: len(value)})
+	b.n++
+	if len(r.slab) >= sortedRunBytes {
+		b.seal()
+	}
+}
+
+// Len returns the number of buffered pairs.
+func (b *SortedRunBuilder) Len() int { return b.n }
+
+func (b *SortedRunBuilder) seal() {
+	if len(b.cur.ents) == 0 {
+		return
+	}
+	b.cur.sort()
+	b.runs = append(b.runs, b.cur)
+	b.cur = &sortedRun{}
+}
+
+// runCursor is one run's position in the merge heap. seq is the run's
+// seal order, the tie-break that keeps the merge stable on equal keys.
+type runCursor struct {
+	run *sortedRun
+	pos int
+	seq int
+}
+
+type runHeap []runCursor
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(a, b int) bool {
+	if c := bytes.Compare(h[a].run.key(h[a].pos), h[b].run.key(h[b].pos)); c != 0 {
+		return c < 0
+	}
+	return h[a].seq < h[b].seq
+}
+func (h runHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(runCursor)) }
+func (h *runHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Emit seals the current run and streams every pair in ascending key order.
+// Equal keys surface in insertion order (runs are merged stably), so the
+// caller can detect duplicates by comparing consecutive keys.
+func (b *SortedRunBuilder) Emit(fn func(key, value []byte) error) error {
+	b.seal()
+	switch len(b.runs) {
+	case 0:
+		return nil
+	case 1:
+		r := b.runs[0]
+		for i := range r.ents {
+			if err := fn(r.key(i), r.value(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	h := make(runHeap, 0, len(b.runs))
+	for seq, r := range b.runs {
+		if len(r.ents) > 0 {
+			h = append(h, runCursor{run: r, seq: seq})
+		}
+	}
+	heap.Init(&h)
+	for len(h) > 0 {
+		c := &h[0]
+		if err := fn(c.run.key(c.pos), c.run.value(c.pos)); err != nil {
+			return err
+		}
+		c.pos++
+		if c.pos == len(c.run.ents) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return nil
+}
+
+// BulkInsert adds rows through the bottom-up load path: every row is
+// encoded once (Identity fill and coercion exactly as Insert), sorted by
+// encoded clustered key, and written into packed B+tree pages without any
+// tree descents. Into a non-empty table it merges the new run with the
+// existing rows into a fresh tree — still one sequential pass. PRIMARY KEY
+// uniqueness is enforced against both the batch and the existing rows.
+//
+// Rowids (and therefore the scan order of equal clustered keys) are
+// assigned in slice order, matching a sequence of Insert calls, and
+// subsequent Insert calls continue from the correct rowid and identity.
+func (t *Table) BulkInsert(rows [][]Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldRowID, oldIdentity := t.nextRowID, t.nextIdentity
+	if err := t.bulkInsertLocked(rows); err != nil {
+		// No rows landed, so no ids were really consumed: put the counters
+		// back so a corrected retry numbers rows as if the failed batch
+		// never happened.
+		t.nextRowID, t.nextIdentity = oldRowID, oldIdentity
+		return err
+	}
+	return nil
+}
+
+func (t *Table) bulkInsertLocked(rows [][]Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	b := NewSortedRunBuilder()
+	vals := make([]Value, len(t.Cols))
+	var keyBuf, rowBuf []byte // per-row scratch; Add copies into the run slab
+	for _, row := range rows {
+		if len(row) != len(t.Cols) {
+			return fmt.Errorf("sqldb: INSERT into %s has %d values for %d columns", t.Name, len(row), len(t.Cols))
+		}
+		copy(vals, row)
+		for i, c := range t.Cols {
+			if c.Identity && vals[i].IsNull() {
+				vals[i] = Int(t.nextIdentity)
+				t.nextIdentity++
+			}
+			var err error
+			vals[i], err = vals[i].CoerceTo(c.Type)
+			if err != nil {
+				return fmt.Errorf("sqldb: table %s column %s: %w", t.Name, c.Name, err)
+			}
+		}
+		rowid := t.nextRowID
+		t.nextRowID++
+		key, err := t.appendKey(keyBuf[:0], vals, rowid)
+		if err != nil {
+			return err
+		}
+		keyBuf = key
+		data, err := appendRow(rowBuf[:0], t.Cols, vals)
+		if err != nil {
+			return err
+		}
+		rowBuf = data
+		b.Add(key, data)
+	}
+	return t.loadRunLocked(b)
+}
+
+// loadRunLocked replaces t.tree with a bulk-loaded tree holding the
+// existing rows merged with the builder's pairs. Caller holds t.mu. On
+// error the table is left unchanged (the old tree stays in place).
+func (t *Table) loadRunLocked(b *SortedRunBuilder) error {
+	loader, err := storage.NewBulkLoader(t.pool)
+	if err != nil {
+		return err
+	}
+	var added int64
+	var prevKey []byte
+	add := func(key, value []byte) error {
+		if t.Unique && prevKey != nil && bytes.Equal(prevKey, key) {
+			return fmt.Errorf("sqldb: duplicate primary key in table %s", t.Name)
+		}
+		prevKey = append(prevKey[:0], key...)
+		return loader.Add(key, value)
+	}
+	if t.rows == 0 {
+		err = b.Emit(func(key, value []byte) error {
+			added++
+			return add(key, value)
+		})
+	} else {
+		err = t.mergeExistingLocked(b, func(key, value []byte, fresh bool) error {
+			if fresh {
+				added++
+			}
+			return add(key, value)
+		})
+	}
+	if err != nil {
+		loader.Abort()
+		return err
+	}
+	tree, err := loader.Finish()
+	if err != nil {
+		return err
+	}
+	t.tree = tree
+	t.rows += added
+	return nil
+}
+
+// mergeExistingLocked streams the union of the table's current rows and the
+// builder's pairs in ascending key order. Existing rows win ties so a
+// unique-key duplicate in the batch surfaces as two consecutive equal keys.
+func (t *Table) mergeExistingLocked(b *SortedRunBuilder, fn func(key, value []byte, fresh bool) error) error {
+	cur, err := t.tree.First()
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	err = b.Emit(func(key, value []byte) error {
+		for cur.Valid() && bytes.Compare(cur.Key(), key) <= 0 {
+			if err := fn(cur.Key(), cur.Value(), false); err != nil {
+				return err
+			}
+			if err := cur.Next(); err != nil {
+				return err
+			}
+		}
+		return fn(key, value, true)
+	})
+	if err != nil {
+		return err
+	}
+	for cur.Valid() {
+		if err := fn(cur.Key(), cur.Value(), false); err != nil {
+			return err
+		}
+		if err := cur.Next(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// scanAll drains a table into value slices for comparison.
+func scanAll(t *testing.T, tbl *Table) [][]Value {
+	t.Helper()
+	cur, err := tbl.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var out [][]Value
+	for cur.Next() {
+		out = append(out, append([]Value(nil), cur.Row()...))
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func rowsEqual(a, b [][]Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestBulkInsertMatchesInsert is the sqldb half of the equivalence
+// guarantee: a bulk-loaded table must scan identically — same rows, same
+// cursor order — to one built by per-row Insert, across key shapes
+// (unique PK, non-unique composite clustered key, rowid heap).
+func TestBulkInsertMatchesInsert(t *testing.T) {
+	cols := []Column{
+		{Name: "zoneid", Type: TInt},
+		{Name: "ra", Type: TFloat},
+		{Name: "objid", Type: TInt},
+	}
+	rng := rand.New(rand.NewSource(3))
+	var rows [][]Value
+	for i := 0; i < 5000; i++ {
+		rows = append(rows, []Value{
+			Int(int64(rng.Intn(40))),
+			Float(float64(rng.Intn(100000)) / 100),
+			Int(int64(i)),
+		})
+	}
+	cases := []struct {
+		name string
+		make func(db *DB, tname string) (*Table, error)
+	}{
+		{"UniquePK", func(db *DB, tn string) (*Table, error) { return db.CreateTable(tn, cols, "objid") }},
+		{"Clustered", func(db *DB, tn string) (*Table, error) {
+			return db.CreateTableClustered(tn, cols, []string{"zoneid", "ra"})
+		}},
+		{"Heap", func(db *DB, tn string) (*Table, error) { return db.CreateTable(tn, cols, "") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db := Open(1024)
+			bulk, err := tc.make(db, "bulk")
+			if err != nil {
+				t.Fatal(err)
+			}
+			trickle, err := tc.make(db, "trickle")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := bulk.BulkInsert(rows); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if err := trickle.Insert(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if bulk.NumRows() != trickle.NumRows() {
+				t.Fatalf("row counts differ: bulk %d, trickle %d", bulk.NumRows(), trickle.NumRows())
+			}
+			if !rowsEqual(scanAll(t, bulk), scanAll(t, trickle)) {
+				t.Fatal("bulk-loaded scan differs from insert-built scan")
+			}
+		})
+	}
+}
+
+// TestBulkThenTrickleRowID is the regression test for mixed ingest: Insert
+// after BulkInsert must continue from the correct max rowid, so no trickled
+// row can collide with (and silently replace) a bulk-loaded one.
+func TestBulkThenTrickleRowID(t *testing.T) {
+	db := Open(256)
+	cols := []Column{{Name: "k", Type: TInt}, {Name: "v", Type: TFloat}}
+	tbl, err := db.CreateTableClustered("t", cols, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All rows share clustered key 7: only the rowid suffix separates them,
+	// so a rowid collision would overwrite a row and drop the count.
+	var rows [][]Value
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []Value{Int(7), Float(float64(i))})
+	}
+	if err := tbl.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		if err := tbl.Insert([]Value{Int(7), Float(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := scanAll(t, tbl)
+	if len(got) != 150 {
+		t.Fatalf("table holds %d rows after bulk+trickle, want 150 (rowid reuse?)", len(got))
+	}
+	// Scan order within the shared key is rowid order = ingest order.
+	for i, r := range got {
+		if v, _ := r[1].AsFloat(); v != float64(i) {
+			t.Fatalf("row %d has v=%g, want %g: rowid sequencing broken across bulk/trickle boundary", i, v, float64(i))
+		}
+	}
+}
+
+// TestBulkInsertIdentityContinues checks that Identity auto-fill advances
+// across BulkInsert and stays in step with later Inserts.
+func TestBulkInsertIdentityContinues(t *testing.T) {
+	db := Open(256)
+	cols := []Column{{Name: "id", Type: TInt, Identity: true}, {Name: "v", Type: TFloat}}
+	tbl, err := db.CreateTable("t", cols, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]Value
+	for i := 0; i < 40; i++ {
+		rows = append(rows, []Value{Null(), Float(float64(i))})
+	}
+	if err := tbl.BulkInsert(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]Value{Null(), Float(40)}); err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, tbl)
+	if len(got) != 41 {
+		t.Fatalf("got %d rows, want 41", len(got))
+	}
+	for i, r := range got {
+		if id, _ := r[0].AsInt(); id != int64(i+1) {
+			t.Fatalf("row %d has identity %d, want %d", i, id, i+1)
+		}
+	}
+}
+
+// TestBulkInsertIntoNonEmpty merges a batch into existing rows: union scan,
+// counts, and subsequent lookups must match the all-trickle table.
+func TestBulkInsertIntoNonEmpty(t *testing.T) {
+	db := Open(512)
+	cols := []Column{{Name: "k", Type: TInt}, {Name: "v", Type: TString}}
+	bulk, err := db.CreateTable("bulk", cols, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trickle, err := db.CreateTable("trickle", cols, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRow := func(k int) []Value { return []Value{Int(int64(k)), String(fmt.Sprintf("v%d", k))} }
+	// Seed both with even keys via trickle inserts.
+	for k := 0; k < 2000; k += 2 {
+		if err := bulk.Insert(mkRow(k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := trickle.Insert(mkRow(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bulk-merge the odd keys into one, trickle them into the other.
+	var odds [][]Value
+	for k := 1999; k > 0; k -= 2 { // descending: exercises the sort
+		odds = append(odds, mkRow(k))
+	}
+	if err := bulk.BulkInsert(odds); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range odds {
+		if err := trickle.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.NumRows() != 2000 || trickle.NumRows() != 2000 {
+		t.Fatalf("row counts: bulk %d, trickle %d, want 2000", bulk.NumRows(), trickle.NumRows())
+	}
+	if !rowsEqual(scanAll(t, bulk), scanAll(t, trickle)) {
+		t.Fatal("merged bulk scan differs from trickle scan")
+	}
+}
+
+// TestBulkInsertDuplicatePK verifies uniqueness enforcement both within a
+// batch and between a batch and existing rows — and that a failed batch
+// leaves the table untouched.
+func TestBulkInsertDuplicatePK(t *testing.T) {
+	db := Open(256)
+	cols := []Column{{Name: "k", Type: TInt}, {Name: "v", Type: TFloat}}
+	tbl, err := db.CreateTable("t", cols, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := [][]Value{
+		{Int(1), Float(1)},
+		{Int(2), Float(2)},
+		{Int(1), Float(3)},
+	}
+	if err := tbl.BulkInsert(dup); err == nil {
+		t.Fatal("in-batch duplicate primary key accepted")
+	}
+	if n := tbl.NumRows(); n != 0 {
+		t.Fatalf("failed batch left %d rows behind", n)
+	}
+	if err := tbl.BulkInsert([][]Value{{Int(5), Float(5)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.BulkInsert([][]Value{{Int(5), Float(6)}}); err == nil {
+		t.Fatal("duplicate primary key against existing rows accepted")
+	}
+	if n := tbl.NumRows(); n != 1 {
+		t.Fatalf("table holds %d rows after rejected merge, want 1", n)
+	}
+	got := scanAll(t, tbl)
+	if v, _ := got[0][1].AsFloat(); v != 5 {
+		t.Fatalf("surviving row has v=%g, want 5 (rejected batch leaked)", v)
+	}
+}
+
+// TestBulkInsertFailureRestoresCounters: a rejected batch must not burn
+// identity (or rowid) values, so a corrected retry numbers rows as if the
+// failure never happened.
+func TestBulkInsertFailureRestoresCounters(t *testing.T) {
+	db := Open(256)
+	cols := []Column{{Name: "id", Type: TInt, Identity: true}, {Name: "v", Type: TFloat}}
+	tbl, err := db.CreateTable("t", cols, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]Value{
+		{Int(7), Float(1)},
+		{Null(), Float(2)}, // would take identity 1
+		{Int(7), Float(3)}, // duplicate PK: batch rejected
+	}
+	if err := tbl.BulkInsert(bad); err == nil {
+		t.Fatal("duplicate batch accepted")
+	}
+	if err := tbl.Insert([]Value{Null(), Float(9)}); err != nil {
+		t.Fatal(err)
+	}
+	got := scanAll(t, tbl)
+	if len(got) != 1 {
+		t.Fatalf("got %d rows, want 1", len(got))
+	}
+	if id, _ := got[0][0].AsInt(); id != 1 {
+		t.Fatalf("identity after failed batch = %d, want 1 (failed batch burned ids)", id)
+	}
+}
+
+// TestReplaceAllAtomicOnError rewrites a table into a primary-key
+// collision: the rewrite must fail without touching the existing rows
+// (the UPDATE/DELETE rewrite path goes through ReplaceAll).
+func TestReplaceAllAtomicOnError(t *testing.T) {
+	db := Open(256)
+	cols := []Column{{Name: "k", Type: TInt}, {Name: "v", Type: TFloat}}
+	tbl, err := db.CreateTable("t", cols, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]Value{Int(1), Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]Value{Int(2), Float(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("UPDATE t SET k = 1"); err == nil {
+		t.Fatal("primary-key-colliding UPDATE accepted")
+	}
+	got := scanAll(t, tbl)
+	if len(got) != 2 {
+		t.Fatalf("failed rewrite left %d rows, want the original 2", len(got))
+	}
+	for i, want := range []int64{1, 2} {
+		if k, _ := got[i][0].AsInt(); k != want {
+			t.Fatalf("row %d has k=%d, want %d (failed rewrite mutated the table)", i, k, want)
+		}
+	}
+	// A valid rewrite still works and restarts rowids.
+	if _, err := db.Exec("UPDATE t SET v = 9 WHERE k = 2"); err != nil {
+		t.Fatal(err)
+	}
+	got = scanAll(t, tbl)
+	if v, _ := got[1][1].AsFloat(); v != 9 {
+		t.Fatalf("valid rewrite lost its update: v=%g", v)
+	}
+}
+
+func TestBulkInsertEmptyAndErrors(t *testing.T) {
+	db := Open(256)
+	cols := []Column{{Name: "k", Type: TInt}}
+	tbl, err := db.CreateTable("t", cols, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.BulkInsert(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := tbl.BulkInsert([][]Value{{Int(1), Int(2)}}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := tbl.BulkInsert([][]Value{{String("not-an-int")}}); err == nil {
+		t.Fatal("uncoercible value accepted")
+	}
+}
+
+// TestRowAfterScanStopsIsNotChimera: once Next returns false at the range
+// bound, the storage cursor's buffer holds the out-of-range row, so a late
+// Row() call must not decode those bytes at the old row's offsets.
+func TestRowAfterScanStopsIsNotChimera(t *testing.T) {
+	db := Open(256)
+	cols := []Column{{Name: "k", Type: TInt}, {Name: "s", Type: TString}}
+	tbl, err := db.CreateTableClustered("t", cols, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]Value{Int(1), String("in-range")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert([]Value{Int(2), String("out-of-range")}); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := tbl.RangeScan(Int(1), Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	cur.SetEagerColumns(1) // leave the string column undecoded
+	if !cur.Next() {
+		t.Fatal("first row missing")
+	}
+	if cur.Next() {
+		t.Fatal("scan leaked past the range bound")
+	}
+	row := cur.Row()
+	if err := cur.Err(); err != nil {
+		t.Fatalf("Row after scan end errored: %v", err)
+	}
+	if row[1].S == "out-of-range" {
+		t.Fatal("Row after scan end decoded the out-of-range record (chimera row)")
+	}
+}
+
+// TestSortedRunBuilderMergesRuns drives the builder across its spill
+// boundary so Emit takes the multi-run heap-merge path.
+func TestSortedRunBuilderMergesRuns(t *testing.T) {
+	b := NewSortedRunBuilder()
+	// Values big enough that a few thousand entries span several runs.
+	pad := make([]byte, 16<<10)
+	rng := rand.New(rand.NewSource(9))
+	keys := rng.Perm(3000)
+	for _, k := range keys {
+		key := []byte(fmt.Sprintf("%08d", k))
+		b.Add(key, pad)
+	}
+	if b.Len() != len(keys) {
+		t.Fatalf("Len() = %d, want %d", b.Len(), len(keys))
+	}
+	if len(b.runs) < 2 {
+		t.Fatalf("expected multiple sealed runs, got %d (spill threshold not crossed)", len(b.runs))
+	}
+	var prev string
+	n := 0
+	err := b.Emit(func(key, value []byte) error {
+		if n > 0 && string(key) <= prev {
+			return fmt.Errorf("key %q out of order after %q", key, prev)
+		}
+		prev = string(key)
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(keys) {
+		t.Fatalf("Emit yielded %d pairs, want %d", n, len(keys))
+	}
+}

@@ -66,7 +66,12 @@ func (t *Table) NumRows() int64 {
 // encodeKey builds the clustered key for a row. Each key column is encoded
 // with a null marker so NULLs order first; non-unique keys append the rowid.
 func (t *Table) encodeKey(row []Value, rowid int64) ([]byte, error) {
-	key := make([]byte, 0, 32)
+	return t.appendKey(make([]byte, 0, 32), row, rowid)
+}
+
+// appendKey is encodeKey into a caller-owned buffer; the bulk-load path
+// encodes every row through one reused scratch slice.
+func (t *Table) appendKey(key []byte, row []Value, rowid int64) ([]byte, error) {
 	for _, ci := range t.KeyCols {
 		v := row[ci]
 		if v.IsNull() {
@@ -147,14 +152,22 @@ func (t *Table) appendKeyPrefix(key []byte, vals []Value) ([]byte, error) {
 // values (zigzag varint ints, 8-byte floats, uvarint-length strings,
 // 1-byte bools).
 func encodeRow(cols []Column, row []Value) ([]byte, error) {
+	return appendRow(make([]byte, 0, (len(cols)+7)/8+len(cols)*8), cols, row)
+}
+
+// appendRow is encodeRow into a caller-owned buffer (see appendKey).
+func appendRow(buf []byte, cols []Column, row []Value) ([]byte, error) {
 	if len(row) != len(cols) {
 		return nil, fmt.Errorf("sqldb: row has %d values for %d columns", len(row), len(cols))
 	}
 	nb := (len(cols) + 7) / 8
-	buf := make([]byte, nb, nb+len(cols)*8)
+	base := len(buf)
+	for i := 0; i < nb; i++ {
+		buf = append(buf, 0)
+	}
 	for i, v := range row {
 		if v.IsNull() {
-			buf[i/8] |= 1 << (i % 8)
+			buf[base+i/8] |= 1 << (i % 8)
 		}
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -426,6 +439,11 @@ func (c *TableCursor) Next() bool {
 		}
 	}
 	c.started = true
+	// Drop the previous row's payload now: the storage cursor's buffer has
+	// been overwritten, so a Row() call after the scan stops must not
+	// decode the out-of-range record's bytes at the old row's offsets.
+	c.raw = nil
+	c.decoded = 0
 	if !c.cur.Valid() {
 		return false
 	}
@@ -523,15 +541,33 @@ func (t *Table) Truncate() error {
 }
 
 // ReplaceAll atomically swaps the table contents for the given rows; used
-// by UPDATE/DELETE rewrites and CREATE CLUSTERED INDEX rebuilds.
+// by UPDATE/DELETE rewrites and CREATE CLUSTERED INDEX rebuilds. The new
+// contents bulk-load bottom-up: rowids restart at 1 and are assigned in
+// slice order, exactly as a Truncate followed by per-row Inserts would —
+// but the swap happens only after the replacement tree is fully built, so
+// a failed rewrite (e.g. an UPDATE that makes a primary key collide)
+// leaves the table untouched.
 func (t *Table) ReplaceAll(rows [][]Value) error {
-	if err := t.Truncate(); err != nil {
-		return err
-	}
-	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	oldRows := t.rows
+	oldRowID, oldIdentity := t.nextRowID, t.nextIdentity
+	// With the counters zeroed, bulkInsertLocked takes the fresh-load path
+	// and only assigns t.tree once the replacement is fully built; the old
+	// tree stays in place (and is restored) on failure.
+	t.rows, t.nextRowID, t.nextIdentity = 0, 1, 1
+	if len(rows) == 0 {
+		tree, err := storage.NewBTree(t.pool)
+		if err != nil {
+			t.rows, t.nextRowID, t.nextIdentity = oldRows, oldRowID, oldIdentity
 			return err
 		}
+		t.tree = tree
+		return nil
+	}
+	if err := t.bulkInsertLocked(rows); err != nil {
+		t.rows, t.nextRowID, t.nextIdentity = oldRows, oldRowID, oldIdentity
+		return err
 	}
 	return nil
 }
@@ -560,8 +596,17 @@ func (t *Table) Recluster(keyCols []string) error {
 		return err
 	}
 	t.mu.Lock()
+	oldKey, oldUnique := t.KeyCols, t.Unique
 	t.KeyCols = idx
 	t.Unique = false
 	t.mu.Unlock()
-	return t.ReplaceAll(rows)
+	if err := t.ReplaceAll(rows); err != nil {
+		// The old tree is still in place; put the key metadata back so
+		// scans keep encoding bounds for the order the tree actually has.
+		t.mu.Lock()
+		t.KeyCols, t.Unique = oldKey, oldUnique
+		t.mu.Unlock()
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// bulkKV generates the i-th test pair: an order-preserving int64 key and a
+// value whose length varies a little so page boundaries move around.
+func bulkKV(i int) (key, value []byte) {
+	key = AppendInt64(nil, int64(i))
+	value = make([]byte, 24+i%7)
+	for j := range value {
+		value[j] = byte(i + j)
+	}
+	return key, value
+}
+
+func bulkLoadN(t testing.TB, pool *Pool, n int) *BTree {
+	t.Helper()
+	b, err := NewBulkLoader(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k, v := bulkKV(i)
+		if err := b.Add(k, v); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	tree, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// checkTreeInvariants walks the whole tree and verifies the B+tree
+// invariants a bottom-up load must preserve:
+//
+//   - every leaf is at the same depth,
+//   - keys are strictly ascending within and across pages,
+//   - internal separators equal the min key of their child's subtree,
+//   - every page except the rightmost spine is at least half full,
+//   - the record count matches n.
+func checkTreeInvariants(t *testing.T, tree *BTree, n int) {
+	t.Helper()
+	var (
+		leafDepth = -1
+		seen      int
+		prevKey   []byte
+	)
+	// usable is the record area available to a page (slotted header aside).
+	usable := PageSize - nodeReserve - 4
+	var walk func(id PageID, depth int, rightmost bool, lower []byte) (minKey []byte)
+	walk = func(id PageID, depth int, rightmost bool, lower []byte) []byte {
+		h, err := tree.pool.Get(id)
+		if err != nil {
+			t.Fatalf("page %d: %v", id, err)
+		}
+		defer h.Release(false)
+		p := AsSlotted(h.Buf, nodeReserve)
+		if !rightmost && usable-p.FreeSpace() < usable/2 {
+			t.Errorf("page %d at depth %d is under half full (%d of %d bytes) off the rightmost spine",
+				id, depth, usable-p.FreeSpace(), usable)
+		}
+		if h.Buf[0] == nodeLeaf {
+			if leafDepth < 0 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Errorf("leaf %d at depth %d, want %d", id, depth, leafDepth)
+			}
+			var min []byte
+			for i := 0; i < p.NumSlots(); i++ {
+				k, _ := splitLeafRecord(p.Record(i))
+				if prevKey != nil && bytes.Compare(k, prevKey) <= 0 {
+					t.Errorf("leaf %d slot %d: key not strictly ascending", id, i)
+				}
+				prevKey = append(prevKey[:0], k...)
+				if i == 0 {
+					min = append([]byte(nil), k...)
+				}
+				seen++
+			}
+			if lower != nil && min != nil && !bytes.Equal(min, lower) {
+				t.Errorf("leaf %d min key differs from parent separator", id)
+			}
+			return min
+		}
+		// Internal node: leftmost child inherits the lower bound, each
+		// record's child subtree must start exactly at the separator.
+		nslots := p.NumSlots()
+		if nslots == 0 {
+			t.Errorf("internal page %d has no separators", id)
+		}
+		min := walk(getChild(h.Buf), depth+1, false, lower)
+		for i := 0; i < nslots; i++ {
+			k, child := splitInternalRecord(p.Record(i))
+			sep := append([]byte(nil), k...)
+			walk(child, depth+1, rightmost && i == nslots-1, sep)
+		}
+		return min
+	}
+	walk(tree.Root(), 0, true, nil)
+	if seen != n {
+		t.Errorf("tree holds %d records, want %d", seen, n)
+	}
+}
+
+// leafCapacity computes how many bulkKV-sized records fit in one leaf, to
+// aim the size sweep straight at the page boundary.
+func leafCapacity() int {
+	usable := PageSize - nodeReserve - 4
+	used, n := 0, 0
+	for {
+		k, v := bulkKV(n)
+		cost := 2 + len(k) + len(v) + slotEntrySize
+		if used+cost > usable {
+			return n
+		}
+		used += cost
+		n++
+	}
+}
+
+func TestBulkLoaderInvariants(t *testing.T) {
+	capacity := leafCapacity()
+	sizes := []int{0, 1, capacity - 1, capacity, capacity + 1, 10000}
+	for _, n := range sizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			pool := NewPool(NewMemStore(), 512)
+			tree := bulkLoadN(t, pool, n)
+			checkTreeInvariants(t, tree, n)
+			if got, err := tree.Len(); err != nil || got != n {
+				t.Fatalf("Len() = %d, %v; want %d", got, err, n)
+			}
+		})
+	}
+}
+
+// TestBulkLoaderInvariantsFuzz is the fuzz-style sweep: random sizes and
+// random (sorted) key gaps, every tree fully invariant-checked.
+func TestBulkLoaderInvariantsFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20040801))
+	for round := 0; round < 20; round++ {
+		n := rng.Intn(4000)
+		pool := NewPool(NewMemStore(), 512)
+		b, err := NewBulkLoader(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := int64(0)
+		for i := 0; i < n; i++ {
+			key += 1 + int64(rng.Intn(1000))
+			v := make([]byte, rng.Intn(120))
+			if err := b.Add(AppendInt64(nil, key), v); err != nil {
+				t.Fatalf("round %d Add(%d): %v", round, i, err)
+			}
+		}
+		tree, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkTreeInvariants(t, tree, n)
+	}
+}
+
+// TestBulkLoadMatchesInsert is the storage half of the equivalence
+// guarantee: a bulk-loaded tree must yield the exact cursor stream of a
+// tree built by per-record Insert.
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	const n = 5000
+	pool := NewPool(NewMemStore(), 1024)
+	bulk := bulkLoadN(t, pool, n)
+	ins, err := NewBTree(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k, v := bulkKV(i)
+		if err := ins.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bc, err := bulk.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	ic, err := ins.First()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ic.Close()
+	for i := 0; ; i++ {
+		if bc.Valid() != ic.Valid() {
+			t.Fatalf("cursor lengths diverge at record %d", i)
+		}
+		if !bc.Valid() {
+			break
+		}
+		if !bytes.Equal(bc.Key(), ic.Key()) || !bytes.Equal(bc.Value(), ic.Value()) {
+			t.Fatalf("record %d differs between bulk and insert trees", i)
+		}
+		if err := bc.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ic.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBulkLoadThenInsert trickles records into a bulk-loaded tree: packed
+// pages must split correctly and point lookups keep working.
+func TestBulkLoadThenInsert(t *testing.T) {
+	const n = 3000
+	pool := NewPool(NewMemStore(), 512)
+	tree := bulkLoadN(t, pool, n)
+	// Interleave new keys between the loaded ones (odd offsets above n).
+	for i := 0; i < n; i += 2 {
+		k := AppendInt64(nil, int64(n+i))
+		if err := tree.Insert(k, []byte("trickle")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := n + n/2
+	if got, err := tree.Len(); err != nil || got != want {
+		t.Fatalf("Len() = %d, %v; want %d", got, err, want)
+	}
+	for i := 0; i < n; i++ {
+		k, v := bulkKV(i)
+		got, ok, err := tree.Get(k)
+		if err != nil || !ok || !bytes.Equal(got, v) {
+			t.Fatalf("Get(bulk key %d) = %v, %v, %v", i, got, ok, err)
+		}
+	}
+}
+
+func TestBulkLoaderErrors(t *testing.T) {
+	pool := NewPool(NewMemStore(), 64)
+	b, err := NewBulkLoader(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]byte{}, nil); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := b.Add([]byte("b"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]byte("b"), []byte("2")); err == nil {
+		t.Error("duplicate key accepted")
+	}
+	if err := b.Add([]byte("a"), []byte("3")); err == nil {
+		t.Error("descending key accepted")
+	}
+	if err := b.Add([]byte("c"), make([]byte, MaxRecordSize)); err == nil {
+		t.Error("oversized record accepted")
+	}
+	if _, err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]byte("d"), nil); err == nil {
+		t.Error("Add after Finish accepted")
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Error("double Finish accepted")
+	}
+
+	// Abort releases pins so the pool can evict the loader's pages.
+	b2, err := NewBulkLoader(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Add([]byte("x"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	b2.Abort()
+	b2.Abort() // idempotent
+}

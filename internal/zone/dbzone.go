@@ -35,10 +35,22 @@ func ZoneTableColumns() []sqldb.Column {
 
 // InstallZoneTable creates (or replaces) tableName in db, loads the
 // galaxies, assigns zone ids, and clusters the storage on (zoneid, ra) —
-// the work of the paper's spZone task. Rows are sorted into clustered-key
-// order first so the B+tree loads append-mostly, the way a bulk CREATE
-// CLUSTERED INDEX builds its sort run.
+// the work of the paper's spZone task. The rows bulk-load bottom-up into
+// packed B+tree pages, the way a bulk CREATE CLUSTERED INDEX consumes its
+// sort run; they are pre-sorted by (zone, ra) so equal-key ties keep the
+// rowid order the trickle path would produce.
 func InstallZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64) (*sqldb.Table, error) {
+	return installZoneTable(db, tableName, gals, heightDeg, true)
+}
+
+// InstallZoneTableTrickle is InstallZoneTable through per-row Insert calls:
+// the ablation baseline the bulk loader is measured against, and the anchor
+// of the bulk/trickle equivalence tests.
+func InstallZoneTableTrickle(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64) (*sqldb.Table, error) {
+	return installZoneTable(db, tableName, gals, heightDeg, false)
+}
+
+func installZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64, bulk bool) (*sqldb.Table, error) {
 	if heightDeg <= 0 {
 		return nil, fmt.Errorf("zone: non-positive zone height %g", heightDeg)
 	}
@@ -49,10 +61,11 @@ func InstallZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightD
 	}
 	sorted := append([]sky.Galaxy(nil), gals...)
 	sky.SortByZoneRa(sorted, heightDeg)
+	rows := make([][]sqldb.Value, len(sorted))
 	for i := range sorted {
 		g := &sorted[i]
 		v := astro.UnitVector(g.Ra, g.Dec)
-		row := []sqldb.Value{
+		rows[i] = []sqldb.Value{
 			sqldb.Int(int64(astro.ZoneID(g.Dec, heightDeg))),
 			sqldb.Int(g.ObjID),
 			sqldb.Float(g.Ra),
@@ -64,6 +77,14 @@ func InstallZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightD
 			sqldb.Float(g.Gr),
 			sqldb.Float(g.Ri),
 		}
+	}
+	if bulk {
+		if err := t.BulkInsert(rows); err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+	for _, row := range rows {
 		if err := t.Insert(row); err != nil {
 			return nil, err
 		}
