@@ -420,6 +420,43 @@ func BenchmarkAblationBatchVsProbe(b *testing.B) {
 	b.Run("Probe", func(b *testing.B) { run(b, maxbcg.SearchProbe) })
 }
 
+// BenchmarkAblationParallelSweep sweeps the worker-pool size of the
+// batched zone join over the full DBFinder pipeline: workers=1 is the
+// sequential sweep PR 1 introduced, workers>1 claims zones from a pool
+// with one cursor per worker. Output is bit-identical at every setting
+// (TestParallelWorkersMatchSequential), so the deltas are pure scheduling:
+// on a single core the extra workers only add coordination overhead, on N
+// cores the sweep-dominated tasks approach 1/N.
+func BenchmarkAblationParallelSweep(b *testing.B) {
+	b.ReportAllocs()
+	cat := benchCatalog(b)
+	target := table3Target()
+	// "workers=N", not "workers-N": go test appends a -GOMAXPROCS suffix
+	// to benchmark names (except when GOMAXPROCS=1), so a name ending in
+	// -digit would be ambiguous to strip in benchgate's snapshot keys.
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := sqldb.Open(0)
+				f, err := maxbcg.NewDBFinder(db, maxbcg.DefaultParams(), cat.Kcorr, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				f.Workers = workers
+				if _, err := f.ImportGalaxies(cat, target.Expand(1.0)); err != nil {
+					b.Fatal(err)
+				}
+				_, report, err := f.Run(target, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(report.Total().Elapsed.Seconds(), "elapsed-s")
+			}
+		})
+	}
+}
+
 // BenchmarkBulkVsInsert is the ingest ablation: loading one table through
 // Table.BulkInsert (encode once, sort the run, write packed pages
 // bottom-up) versus per-row Insert (one root-to-leaf descent per row), on

@@ -12,6 +12,12 @@
 // Snapshots use the BENCH_N.json layout: {"note", "cpu", "benchmarks":
 // {name: {metric: value}}}. The baseline is the BENCH_<N>.json with the
 // highest N in -dir.
+//
+// When -summary is given (or $GITHUB_STEP_SUMMARY is set, as on GitHub
+// Actions), benchgate also appends a markdown table of every metric of
+// the gated benchmark — baseline, candidate, relative delta — to that
+// file, so the job summary shows which dimensions moved, not just the
+// pass/fail verdict.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,6 +42,7 @@ var (
 	thresholdFlag = flag.Float64("threshold", 0.20, "fail when metric exceeds baseline by this fraction")
 	outFlag       = flag.String("out", "", "write a fresh snapshot JSON here (empty = skip)")
 	noteFlag      = flag.String("note", "CI benchmark snapshot (benchgate)", "note stored in the snapshot")
+	summaryFlag   = flag.String("summary", "", "append a markdown per-metric delta table here (empty = $GITHUB_STEP_SUMMARY if set)")
 )
 
 // snapshot mirrors the BENCH_N.json layout.
@@ -144,6 +152,50 @@ func gate(baseline, candidate, threshold float64) (string, bool) {
 	return verdict, candidate <= limit
 }
 
+// deltaTable renders a markdown table of every metric the baseline and
+// candidate share for one benchmark, with the relative delta, plus
+// candidate-only metrics (marked new). Metrics are sorted for stable
+// output; it is what CI appends to the job summary so a reviewer sees at
+// a glance which dimension moved, not just the gated one.
+func deltaTable(bench, baselineName string, base, cand map[string]float64) string {
+	keys := make([]string, 0, len(cand))
+	for k := range cand {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s vs %s\n\n", bench, baselineName)
+	b.WriteString("| metric | baseline | candidate | delta |\n")
+	b.WriteString("|---|---:|---:|---:|\n")
+	for _, k := range keys {
+		cv := cand[k]
+		bv, ok := base[k]
+		switch {
+		case !ok:
+			fmt.Fprintf(&b, "| %s | — | %.4g | new |\n", k, cv)
+		case bv == 0:
+			fmt.Fprintf(&b, "| %s | 0 | %.4g | — |\n", k, cv)
+		default:
+			fmt.Fprintf(&b, "| %s | %.4g | %.4g | %+.1f%% |\n", k, bv, cv, 100*(cv-bv)/bv)
+		}
+	}
+	return b.String()
+}
+
+// writeSummary appends the delta table to path (the GitHub job-summary
+// file is append-only by convention) and echoes it to stdout so local
+// runs see the same table.
+func writeSummary(path, table string) error {
+	fmt.Print(table)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString(table + "\n")
+	return err
+}
+
 func run() error {
 	var in io.Reader = os.Stdin
 	if *inputFlag != "-" {
@@ -203,11 +255,27 @@ func run() error {
 	}
 	verdict, pass := gate(baseVal, candVal, *thresholdFlag)
 	fmt.Printf("benchgate: %s %s vs %s: %s\n", *benchFlag, *metricFlag, filepath.Base(basePath), verdict)
+
+	if summary := summaryPath(); summary != "" {
+		table := deltaTable(*benchFlag, filepath.Base(basePath), baseMetrics, candMetrics)
+		if err := writeSummary(summary, table); err != nil {
+			return fmt.Errorf("benchgate: write summary: %w", err)
+		}
+	}
 	if !pass {
 		return fmt.Errorf("benchgate: regression past %.0f%% threshold", *thresholdFlag*100)
 	}
 	fmt.Println("benchgate: OK")
 	return nil
+}
+
+// summaryPath resolves where the delta table goes: the -summary flag, or
+// the GITHUB_STEP_SUMMARY file GitHub Actions provides, or nowhere.
+func summaryPath() string {
+	if *summaryFlag != "" {
+		return *summaryFlag
+	}
+	return os.Getenv("GITHUB_STEP_SUMMARY")
 }
 
 func main() {

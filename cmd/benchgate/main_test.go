@@ -103,3 +103,40 @@ func TestGate(t *testing.T) {
 		}
 	}
 }
+
+func TestDeltaTable(t *testing.T) {
+	base := map[string]float64{"elapsed_s": 0.40, "io_ops": 30000, "gone_metric": 1}
+	cand := map[string]float64{"elapsed_s": 0.30, "io_ops": 33000, "cpu_s": 0.25}
+	got := deltaTable("BenchmarkTable1NoPartition", "BENCH_2.json", base, cand)
+	for _, want := range []string{
+		"### BenchmarkTable1NoPartition vs BENCH_2.json",
+		"| metric | baseline | candidate | delta |",
+		"| elapsed_s | 0.4 | 0.3 | -25.0% |",
+		"| io_ops | 3e+04 | 3.3e+04 | +10.0% |",
+		"| cpu_s | — | 0.25 | new |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("delta table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "gone_metric") {
+		t.Errorf("baseline-only metric should not appear:\n%s", got)
+	}
+}
+
+func TestWriteSummaryAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "summary.md")
+	if err := writeSummary(path, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSummary(path, "second"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "first\nsecond\n" {
+		t.Errorf("summary file = %q", data)
+	}
+}

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	maxbcg -cat sky.cat -impl db [-nodes 3]
+//	maxbcg -cat sky.cat -impl db [-nodes 3] [-workers 0]
 //	       [-minra 194.9 -maxra 195.4 -mindec 2.3 -maxdec 2.8]
+//
+// -workers sizes the per-node worker pool of the batched zone sweeps
+// (0 = one worker per CPU, 1 = sequential); the answer is bit-identical
+// at every setting.
 package main
 
 import (
@@ -27,6 +31,7 @@ func main() {
 		catPath = flag.String("cat", "sky.cat", "catalog file from skygen")
 		impl    = flag.String("impl", "memory", "implementation: memory, db, tam, cluster")
 		nodes   = flag.Int("nodes", 3, "node count for -impl cluster")
+		workers = flag.Int("workers", 0, "zone-sweep workers per node (0 = one per CPU, 1 = sequential)")
 		minRa   = flag.Float64("minra", 194.9, "target min ra")
 		maxRa   = flag.Float64("maxra", 195.4, "target max ra")
 		minDec  = flag.Float64("mindec", 2.3, "target min dec")
@@ -63,6 +68,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		finder.Workers = *workers
 		if _, err := finder.ImportGalaxies(cat, cat.Region); err != nil {
 			fatal(err)
 		}
@@ -91,7 +97,7 @@ func main() {
 			cfg.BufferDeg, cfg.Kcorr.Steps())
 	case "cluster":
 		out, err := cluster.Run(cat, target, cluster.Config{
-			Nodes: *nodes, Params: params, IncludeMembers: true,
+			Nodes: *nodes, Params: params, IncludeMembers: true, Workers: *workers,
 		})
 		if err != nil {
 			fatal(err)

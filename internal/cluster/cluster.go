@@ -5,6 +5,13 @@
 // answers is identical to the sequential run — the paper's headline
 // parallelism result, at ~2× elapsed speedup for 3 nodes at the cost of
 // ~25% duplicated CPU and I/O (Table 1).
+//
+// This is the coarse, shared-nothing level of the engine's parallelism:
+// each node gets a private database (store, buffer pool, tables).
+// Config.Workers additionally sizes each node's intra-node worker pool
+// for the batched zone sweeps (zone.ParallelBatchSearch); both levels
+// preserve bit-identical output. See ARCHITECTURE.md, "Concurrency
+// model".
 package cluster
 
 import (
@@ -95,6 +102,10 @@ type Config struct {
 	// Ingest selects each node's table-load path: bulk load (default) or
 	// the per-row Insert ablation baseline.
 	Ingest maxbcg.IngestMode
+	// Workers is each node's zone-sweep worker-pool size: 0 = one worker
+	// per CPU, 1 = the sequential sweep (ablation baseline). Every
+	// setting produces bit-identical output.
+	Workers int
 	// Sequential forces the partitions to run one after another; used to
 	// attribute CPU cleanly when measuring.
 	Sequential bool
@@ -123,6 +134,7 @@ func Run(cat *sky.Catalog, target astro.Box, cfg Config) (*Result, error) {
 		}
 		finder.Mode = cfg.Mode
 		finder.Ingest = cfg.Ingest
+		finder.Workers = cfg.Workers
 		if _, err := finder.ImportGalaxies(cat, part.Import); err != nil {
 			return err
 		}

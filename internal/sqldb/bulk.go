@@ -199,6 +199,9 @@ func (t *Table) bulkInsertLocked(rows [][]Value) error {
 				vals[i] = Int(t.nextIdentity)
 				t.nextIdentity++
 			}
+			if !vals[i].NeedsCoerce(c.Type) {
+				continue // bulk ingest's common case: already typed
+			}
 			var err error
 			vals[i], err = vals[i].CoerceTo(c.Type)
 			if err != nil {

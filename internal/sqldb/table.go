@@ -175,9 +175,12 @@ func appendRow(buf []byte, cols []Column, row []Value) ([]byte, error) {
 		if v.IsNull() {
 			continue
 		}
-		v, err := v.CoerceTo(cols[i].Type)
-		if err != nil {
-			return nil, fmt.Errorf("sqldb: column %s: %w", cols[i].Name, err)
+		if v.NeedsCoerce(cols[i].Type) {
+			var err error
+			v, err = v.CoerceTo(cols[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: column %s: %w", cols[i].Name, err)
+			}
 		}
 		switch cols[i].Type {
 		case TInt:
@@ -282,6 +285,9 @@ func (t *Table) Insert(row []Value) error {
 		if c.Identity && vals[i].IsNull() {
 			vals[i] = Int(t.nextIdentity)
 			t.nextIdentity++
+		}
+		if !vals[i].NeedsCoerce(c.Type) {
+			continue
 		}
 		var err error
 		vals[i], err = vals[i].CoerceTo(c.Type)

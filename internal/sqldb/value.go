@@ -9,6 +9,15 @@
 // SELECT, SELECT with JOIN/CROSS JOIN/WHERE/GROUP BY/HAVING/ORDER BY/LIMIT,
 // UPDATE, DELETE, TRUNCATE TABLE, and DROP TABLE. See parser.go for the
 // grammar.
+//
+// Storage contract: a Table is a B+tree in clustered-key order with two
+// write paths — per-row Insert (one descent per row) and BulkInsert
+// (encode once, sort the run, build packed pages bottom-up), freely
+// mixable — and cursor reads with lazy column decode (SetEagerColumns /
+// RowPrefix). Writes serialise on the table's mutex; any number of
+// cursors may read one table concurrently (each goroutine using its own
+// cursor), which is what the parallel zone sweep in internal/zone relies
+// on. See ARCHITECTURE.md for the layer map.
 package sqldb
 
 import (
@@ -203,6 +212,12 @@ func (v Value) GroupKey() string {
 	}
 	return "?"
 }
+
+// NeedsCoerce reports whether CoerceTo(t) would do more than return v
+// unchanged. The write paths guard their CoerceTo calls with it so the
+// hot encode loops skip the call for already-typed values (the common
+// case in bulk ingest); keep it in lock-step with CoerceTo's first line.
+func (v Value) NeedsCoerce(t Type) bool { return !v.IsNull() && v.T != t }
 
 // CoerceTo converts v for storage into a column of type t, applying the
 // implicit conversions T-SQL allows (int↔float, anything→text stays typed).

@@ -6,6 +6,15 @@
 //
 // The buffer pool's counters are what let the benchmark harness report the
 // "I/O" column of the paper's Table 1.
+//
+// Concurrency contract: Pool is safe for concurrent use — Get/New/Release
+// serialise on one mutex, and a pinned Handle's frame is never evicted, so
+// any number of goroutines may hold pages at once. BTree reads are safe
+// concurrently with each other (each Cursor pins at most one leaf and owns
+// its position); writes (Insert, BulkLoader) assume a single writer, which
+// the sqldb layer guarantees by holding Table.mu. See ARCHITECTURE.md for
+// how the parallel zone sweep leans on this: one cursor per worker over
+// the shared pool.
 package storage
 
 import (

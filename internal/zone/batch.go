@@ -1,7 +1,11 @@
 package zone
 
 import (
+	"errors"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/astro"
 	"repro/internal/sqldb"
@@ -35,19 +39,12 @@ type batchWindow struct {
 // (i, gr, ri) decodes only for rows inside some probe's radius.
 const chordTestCols = 7
 
-// BatchSearch answers every probe against the zone table in one pass and
-// calls fn(probe index, neighbour row) for each hit. Per probe it emits
-// rows in the same (zone ascending, ra ascending) order as SearchTable, and
-// the chord arithmetic is identical, so the two paths agree bitwise; hits
-// of different probes interleave. Probes with negative radius match
-// nothing, like SearchTable.
-func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
-	if len(probes) == 0 {
-		return nil
-	}
-	centers := make([]astro.Vec3, len(probes))
-	r2s := make([]float64, len(probes))
-	var ws []batchWindow
+// buildWindows expands every probe into its per-zone (zone, ra-window)
+// scan obligations, sorted by (zone, lo): the shared front half of the
+// sequential and parallel sweeps. centers and r2s are indexed by probe.
+func buildWindows(heightDeg float64, probes []Probe) (ws []batchWindow, centers []astro.Vec3, r2s []float64) {
+	centers = make([]astro.Vec3, len(probes))
+	r2s = make([]float64, len(probes))
 	for pi := range probes {
 		p := &probes[pi]
 		if p.R < 0 {
@@ -70,7 +67,38 @@ func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(prob
 		}
 		return ws[a].lo < ws[b].lo
 	})
+	return ws, centers, r2s
+}
 
+// BatchSearch answers every probe against the zone table in one pass and
+// calls fn(probe index, neighbour row) for each hit. Per probe it emits
+// rows in the same (zone ascending, ra ascending) order as SearchTable, and
+// the chord arithmetic is identical, so the two paths agree bitwise; hits
+// of different probes interleave. Probes with negative radius match
+// nothing, like SearchTable.
+func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
+	if len(probes) == 0 {
+		return nil
+	}
+	ws, centers, r2s := buildWindows(heightDeg, probes)
+	return sweepWindows(t, ws, centers, r2s, fn)
+}
+
+// zoneEnd returns the end of the same-zone window run beginning at ws[i]:
+// the one grouping rule both the sequential and parallel sweeps share, so
+// their per-zone units of work can never diverge.
+func zoneEnd(ws []batchWindow, i int) int {
+	j := i
+	for j < len(ws) && ws[j].zone == ws[i].zone {
+		j++
+	}
+	return j
+}
+
+// sweepWindows is the sequential back half of BatchSearch: one cursor
+// sweeps the prebuilt zone-grouped windows in order. ParallelBatchSearch
+// reuses it when the probe set collapses to too few zones to parallelise.
+func sweepWindows(t *sqldb.Table, ws []batchWindow, centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) error {
 	var (
 		cur    *sqldb.TableCursor
 		active []batchWindow
@@ -82,16 +110,155 @@ func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(prob
 		}
 	}()
 	for i := 0; i < len(ws); {
-		j := i
-		for j < len(ws) && ws[j].zone == ws[i].zone {
-			j++
-		}
+		j := zoneEnd(ws, i)
 		if cur, active, err = sweepZone(t, ws[i:j], cur, active, centers, r2s, fn); err != nil {
 			return err
 		}
 		i = j
 	}
 	return nil
+}
+
+// batchHit is one buffered result of a parallel sweep: the probe it
+// answers and the neighbour row, in the zone's emission order.
+type batchHit struct {
+	probe int32
+	row   ZoneRow
+}
+
+// errSweepSkipped marks a zone a worker declined to sweep because an
+// earlier failure already aborted the search; it is filtered out of
+// ParallelBatchSearch's return value in favour of the real error.
+var errSweepSkipped = errors.New("zone: sweep skipped after earlier failure")
+
+// ParallelBatchSearch is BatchSearch swept by a pool of workers: zones are
+// independent by construction (each is a disjoint clustered-key range), so
+// workers claim zones from the sorted window list and sweep them
+// concurrently, each with its own cursor and decode buffers over the
+// thread-safe buffer pool. Per-zone hits buffer in memory and fn is called
+// zone by zone in ascending order from the calling goroutine, so the call
+// sequence — and therefore every downstream table — is bit-identical to
+// BatchSearch regardless of worker count or scheduling.
+//
+// workers <= 0 selects GOMAXPROCS; workers == 1 delegates to the
+// sequential BatchSearch (the ablation baseline). fn never runs
+// concurrently and needs no locking. On a sweep error fn has received a
+// clean prefix (by zone) of the sequential call sequence and a real sweep
+// error is returned; which zones made the prefix may vary with
+// scheduling, so callers must discard partial results on error (all
+// current callers do).
+func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, workers int, fn func(probe int, zr ZoneRow)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(probes) == 0 {
+		return BatchSearch(t, heightDeg, probes, fn)
+	}
+	ws, centers, r2s := buildWindows(heightDeg, probes)
+
+	// Group the windows by zone: groups[g] = ws[starts[g]:starts[g+1]].
+	var starts []int
+	for i := 0; i < len(ws); i = zoneEnd(ws, i) {
+		starts = append(starts, i)
+	}
+	starts = append(starts, len(ws))
+	groups := len(starts) - 1
+	if groups <= 1 {
+		return sweepWindows(t, ws, centers, r2s, fn)
+	}
+	if workers > groups {
+		workers = groups
+	}
+
+	hits := make([]*[]batchHit, groups)
+	errs := make([]error, groups)
+	done := make([]chan struct{}, groups)
+	for g := range done {
+		done[g] = make(chan struct{})
+	}
+	var (
+		next int64 // next unclaimed group, taken via atomic increment
+		stop int32 // set when any worker fails; remaining groups are skipped
+		wg   sync.WaitGroup
+		// bufs recycles emitted hit buffers back to the workers, bounding
+		// allocation by the in-flight zones rather than the total hits.
+		bufs = sync.Pool{New: func() any { return new([]batchHit) }}
+		// tokens bounds how far the workers may run ahead of the in-order
+		// consumer: without it every zone's hits would be live at once and
+		// the buffer pool could never recycle. A worker holds one token
+		// per claimed group; the consumer returns it after emitting.
+		tokens = make(chan struct{}, 4*workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				cur    *sqldb.TableCursor
+				active []batchWindow
+			)
+			defer func() {
+				if cur != nil {
+					cur.Close()
+				}
+			}()
+			for {
+				tokens <- struct{}{}
+				g := int(atomic.AddInt64(&next, 1)) - 1
+				if g >= groups {
+					<-tokens // nothing claimed; hand the token back
+					return
+				}
+				if atomic.LoadInt32(&stop) == 0 {
+					buf := bufs.Get().(*[]batchHit)
+					*buf = (*buf)[:0]
+					cur, active, errs[g] = sweepZone(t, ws[starts[g]:starts[g+1]], cur, active, centers, r2s,
+						func(pi int, zr ZoneRow) {
+							*buf = append(*buf, batchHit{probe: int32(pi), row: zr})
+						})
+					hits[g] = buf
+					if errs[g] != nil {
+						atomic.StoreInt32(&stop, 1)
+					}
+				} else {
+					errs[g] = errSweepSkipped
+				}
+				close(done[g])
+			}
+		}()
+	}
+
+	// Emit in zone order while the workers run ahead. Emission halts at
+	// the first zone that failed — or was skipped after a failure — so on
+	// error fn has seen a clean prefix of the sequential call sequence,
+	// never a sequence with a missing zone in the middle. The returned
+	// error is a real sweep error (skip markers can only follow the
+	// failure that caused them, but a preempted worker may record one at
+	// a lower zone index, so they are filtered, not returned).
+	var firstErr error
+	emit := true
+	for g := 0; g < groups; g++ {
+		<-done[g]
+		<-tokens // the claiming worker's token; frees a look-ahead slot
+		if buf := hits[g]; buf != nil {
+			if emit && errs[g] == nil {
+				for i := range *buf {
+					h := &(*buf)[i]
+					fn(int(h.probe), h.row)
+				}
+			}
+			hits[g] = nil
+			bufs.Put(buf)
+		}
+		if errs[g] != nil {
+			emit = false
+			if firstErr == nil && errs[g] != errSweepSkipped {
+				firstErr = errs[g]
+			}
+		}
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // sweepZone merges one zone's windows (sorted by lo) against the zone's

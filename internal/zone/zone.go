@@ -10,6 +10,22 @@
 // sqldb database (Zone table with a clustered (zoneid, ra) index and the
 // fGetNearbyObjEqZd table-valued function), where buffer-pool I/O is
 // accounted.
+//
+// Three access paths answer neighbour searches against the DB zone table,
+// each the ablation baseline of the next:
+//
+//   - SearchTable: one range scan per probe per overlapping zone (the
+//     paper's literal fGetNearbyObjEqZd plan).
+//   - BatchSearch: many probes answered in one pass — every probe's
+//     (zone, ra-window) obligations sort by (zone, ra) and merge against
+//     the clustered index with one synchronized cursor sweep per zone.
+//   - ParallelBatchSearch: the same sweep on a worker pool. Zones are
+//     disjoint clustered-key ranges, so workers claim them independently,
+//     each with a private cursor over the thread-safe buffer pool;
+//     per-zone hits are buffered and re-emitted in zone order, making the
+//     output bit-identical to BatchSearch at any worker count.
+//
+// All three agree bitwise; equivalence and wraparound-RA tests pin it.
 package zone
 
 import (
