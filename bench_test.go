@@ -457,6 +457,56 @@ func BenchmarkAblationParallelSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationColumnarSweep answers one candidate-sized probe batch
+// through both zone-table representations at Workers=1: the row sweep
+// (clustered B+tree, 7 of 10 columns decoded per chord test) versus the
+// columnar sweep (packed float arrays per zone segment, no per-row
+// decode). Output is bit-identical (TestColumnarSweepMatchesRowSweep), so
+// the deltas — wall clock and allocs/op — are pure representation cost.
+func BenchmarkAblationColumnarSweep(b *testing.B) {
+	b.ReportAllocs()
+	cat := benchCatalog(b)
+	db := sqldb.Open(0)
+	zt, err := zone.InstallZoneTableColumnar(db, "Zone", cat.Galaxies, astro.ZoneHeightDeg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := zt.Columnar()
+	rng := rand.New(rand.NewSource(20040801))
+	probes := make([]zone.Probe, 512)
+	for i := range probes {
+		probes[i] = zone.Probe{
+			Ra:  194.1 + rng.Float64()*2.0,
+			Dec: 1.4 + rng.Float64()*2.2,
+			R:   0.02 + rng.Float64()*0.1,
+		}
+	}
+	b.Run("Row", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			err := zone.BatchSearch(zt, astro.ZoneHeightDeg, probes,
+				func(int, zone.ZoneRow) { n++ })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)/float64(b.N), "hits")
+	})
+	b.Run("Columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			err := zone.BatchSearchColumnar(ct, astro.ZoneHeightDeg, probes,
+				func(int, zone.ZoneRow) { n++ })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)/float64(b.N), "hits")
+	})
+}
+
 // BenchmarkBulkVsInsert is the ingest ablation: loading one table through
 // Table.BulkInsert (encode once, sort the run, write packed pages
 // bottom-up) versus per-row Insert (one root-to-leaf descent per row), on

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchtab [-exp all|t1|t2|t3|f1|f2|f3|f4|f5|f6] [-seed N] [-side deg]
-//	         [-workers N]
+//	         [-workers N] [-columnar=true]
 //
 // Absolute times are host-dependent; the shapes (who wins, by what factor)
 // are the reproduction targets recorded in EXPERIMENTS.md.
@@ -35,12 +35,21 @@ var (
 	sideFlag = flag.Float64("side", 1.0, "target ra extent in degrees")
 	decFlag  = flag.Float64("dec", 3.6, "target dec extent in degrees (tall targets keep the partition buffers small, like the paper's 11x6 region)")
 	// Default 1, not 0: benchtab reproduces the paper's tables, whose
-	// cpu(s) columns and node-scaling shapes assume each node sweeps
-	// sequentially (sweep-worker CPU runs off the measured thread, and
-	// intra-node workers would saturate the cores Figure 6 varies node
-	// counts over). Opt into the parallel sweep explicitly.
+	// node-scaling shapes assume each node sweeps sequentially
+	// (intra-node workers would saturate the cores Figure 6 varies node
+	// counts over). Opt into the parallel sweep explicitly; worker CPU
+	// is attributed either way (zone.SweepStats).
 	workFlag = flag.Int("workers", 1, "zone-sweep workers per node (1 = sequential, the reproduction default; 0 = one per CPU)")
+	colFlag  = flag.Bool("columnar", true, "sweep the column-major zone store (false = row-store ablation)")
 )
+
+// storeMode maps -columnar onto the DBFinder knob.
+func storeMode() maxbcg.ZoneStore {
+	if *colFlag {
+		return maxbcg.StoreColumnar
+	}
+	return maxbcg.StoreRow
+}
 
 func main() {
 	flag.Parse()
@@ -105,12 +114,12 @@ func run(exp string) error {
 
 func (h *harness) table1() error {
 	fmt.Println("== Table 1: SQL Server cluster performance, no partitioning and 3-way ==")
-	cfgSeq := cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag}
+	cfgSeq := cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag, Store: storeMode()}
 	seq, err := cluster.Run(h.cat, h.target, cfgSeq)
 	if err != nil {
 		return err
 	}
-	cfgPar := cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag}
+	cfgPar := cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode()}
 	par, err := cluster.Run(h.cat, h.target, cfgPar)
 	if err != nil {
 		return err
@@ -182,12 +191,12 @@ func (h *harness) table3() error {
 	scaledTAM := tamElapsed * sf.Work
 
 	// Measure the SQL implementation (1 node, then 3 nodes).
-	seq, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag})
+	seq, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag, Store: storeMode()})
 	if err != nil {
 		return err
 	}
 	sql1 := seq.Nodes[0].Report.Total().Elapsed.Seconds()
-	par, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag})
+	par, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode()})
 	if err != nil {
 		return err
 	}
@@ -425,7 +434,7 @@ func (h *harness) figure6() error {
 	fmt.Printf("  %-7s %12s %10s %14s\n", "nodes", "elapsed", "speedup", "dup area deg2")
 	var base float64
 	for _, n := range []int{1, 2, 3, 4} {
-		res, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: n, Params: maxbcg.DefaultParams(), Workers: *workFlag})
+		res, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: n, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode()})
 		if err != nil {
 			return err
 		}

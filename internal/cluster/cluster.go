@@ -102,6 +102,10 @@ type Config struct {
 	// Ingest selects each node's table-load path: bulk load (default) or
 	// the per-row Insert ablation baseline.
 	Ingest maxbcg.IngestMode
+	// Store selects the zone representation each node's batched sweeps
+	// read: the column-major projection (default) or the row-major
+	// B+tree ablation baseline. Output is bit-identical either way.
+	Store maxbcg.ZoneStore
 	// Workers is each node's zone-sweep worker-pool size: 0 = one worker
 	// per CPU, 1 = the sequential sweep (ablation baseline). Every
 	// setting produces bit-identical output.
@@ -134,6 +138,7 @@ func Run(cat *sky.Catalog, target astro.Box, cfg Config) (*Result, error) {
 		}
 		finder.Mode = cfg.Mode
 		finder.Ingest = cfg.Ingest
+		finder.Store = cfg.Store
 		finder.Workers = cfg.Workers
 		if _, err := finder.ImportGalaxies(cat, part.Import); err != nil {
 			return err

@@ -1,0 +1,84 @@
+package maxbcg
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/sqldb"
+)
+
+// runDBFinderStore runs the full pipeline with an explicit zone-store
+// representation and sweep worker count.
+func runDBFinderStore(t *testing.T, target astro.Box, store ZoneStore, workers int) *Result {
+	t.Helper()
+	cat := batchEquivCatalog(t)
+	db := sqldb.Open(0)
+	f, err := NewDBFinder(db, DefaultParams(), cat.Kcorr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Store = store
+	f.Workers = workers
+	if _, err := f.ImportGalaxies(cat, cat.Region); err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := f.Run(target, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestColumnarStoreMatchesRowStore is the pipeline-level acceptance test
+// of the columnar zone store: candidates, clusters, and members must be
+// bit-identical whether the sweeps read the column-major projection or the
+// row B+tree, sequentially or on a worker pool.
+func TestColumnarStoreMatchesRowStore(t *testing.T) {
+	target := astro.MustBox(195.4, 196.0, 2.4, 2.8)
+	row := runDBFinderStore(t, target, StoreRow, 1)
+	if len(row.Candidates) == 0 || len(row.Clusters) == 0 || len(row.Members) == 0 {
+		t.Fatalf("degenerate fixture: %s", row.Summary())
+	}
+	for _, workers := range []int{1, 4} {
+		col := runDBFinderStore(t, target, StoreColumnar, workers)
+		if !reflect.DeepEqual(row.Candidates, col.Candidates) {
+			t.Errorf("workers=%d: candidates differ: row %d rows, columnar %d rows",
+				workers, len(row.Candidates), len(col.Candidates))
+		}
+		if !reflect.DeepEqual(row.Clusters, col.Clusters) {
+			t.Errorf("workers=%d: clusters differ: row %d rows, columnar %d rows",
+				workers, len(row.Clusters), len(col.Clusters))
+		}
+		if !reflect.DeepEqual(row.Members, col.Members) {
+			t.Errorf("workers=%d: members differ: row %d rows, columnar %d rows",
+				workers, len(row.Members), len(col.Members))
+		}
+	}
+}
+
+// TestWorkerCPUAttributed pins the worker CPU attribution satellite: a
+// multi-worker run must report task CPU that includes the sweep workers'
+// thread time, so the sweep-dominated fBCGCandidate task cannot report
+// (near-)zero CPU while its workers burn a multiple of elapsed.
+func TestWorkerCPUAttributed(t *testing.T) {
+	cat := batchEquivCatalog(t)
+	db := sqldb.Open(0)
+	f, err := NewDBFinder(db, DefaultParams(), cat.Kcorr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Workers = 4
+	if _, err := f.ImportGalaxies(cat, cat.Region); err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := f.Run(astro.MustBox(195.4, 196.0, 2.4, 2.8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range report.Tasks {
+		if task.Name == "fBCGCandidate" && task.CPU <= 0 {
+			t.Errorf("task %s reports %v CPU with Workers=4", task.Name, task.CPU)
+		}
+	}
+}

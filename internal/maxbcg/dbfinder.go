@@ -31,12 +31,29 @@ type IngestMode int
 
 const (
 	// IngestBulk loads the Galaxy, Zone, and CandZone tables through
-	// Table.BulkInsert: rows encode once, sort by clustered key, and
-	// write packed B+tree pages bottom-up. The default.
+	// Table.BulkInsert — and stages each measured task's output rows
+	// (Candidates, Clusters, Members) to land the same way. The default.
 	IngestBulk IngestMode = iota
 	// IngestTrickle is the original per-row Insert path — one
 	// root-to-leaf descent per row — kept as the ablation baseline.
 	IngestTrickle
+)
+
+// ZoneStore selects the physical zone-table representation the batched
+// sweeps read.
+type ZoneStore int
+
+const (
+	// StoreColumnar sweeps the column-major zone projection
+	// (internal/colstore): per-zone segment pages of packed float arrays,
+	// so the chord test is a pure float scan with no per-row decode.
+	// The default. SpZone installs both representations — the row table
+	// keeps serving SearchProbe and the fGetNearbyObjEqZd TVF.
+	StoreColumnar ZoneStore = iota
+	// StoreRow sweeps the row-major zone table through the clustered
+	// B+tree — the ablation baseline the columnar store is measured
+	// against (BenchmarkAblationColumnarSweep).
+	StoreRow
 )
 
 // DBFinder is the paper's SQL Server implementation: the catalog lives in
@@ -50,11 +67,16 @@ type DBFinder struct {
 	DB         *sqldb.DB
 	Mode       SearchMode // access path for candidate and member searches
 	Ingest     IngestMode // load path for the catalog and zone tables
+	Store      ZoneStore  // zone representation the batched sweeps read
 	// Workers sets the worker-pool size of the batched zone sweeps
 	// (zone.ParallelBatchSearch): 0 = one worker per CPU, 1 = the
 	// sequential sweep (the ablation baseline). Output is bit-identical
 	// at every setting; only SearchBatch mode is affected.
 	Workers int
+
+	// sweepStats accumulates the CPU time of the parallel sweeps' worker
+	// threads; Run folds the per-task delta into the cpu(s) column.
+	sweepStats zone.SweepStats
 
 	galaxyT  *sqldb.Table
 	kcorrT   *sqldb.Table
@@ -160,30 +182,39 @@ func (f *DBFinder) ImportGalaxies(cat *sky.Catalog, region astro.Box) (int64, er
 	if err := f.galaxyT.Truncate(); err != nil {
 		return 0, err
 	}
-	rows := make([][]sqldb.Value, 0, len(cat.Galaxies))
+	keep := make([]int32, 0, len(cat.Galaxies))
 	for i := range cat.Galaxies {
-		g := &cat.Galaxies[i]
-		if !region.Contains(g.Ra, g.Dec) {
-			continue
+		if region.Contains(cat.Galaxies[i].Ra, cat.Galaxies[i].Dec) {
+			keep = append(keep, int32(i))
 		}
-		rows = append(rows, []sqldb.Value{
-			sqldb.Int(g.ObjID), sqldb.Float(g.Ra), sqldb.Float(g.Dec),
-			sqldb.Float(g.I), sqldb.Float(g.Gr), sqldb.Float(g.Ri),
-			sqldb.Float(g.SigmaGr), sqldb.Float(g.SigmaRi),
-		})
+	}
+	// One scratch row streams the extract; BulkInsertFunc/Insert encode it
+	// before the next call, so nothing retains the slice.
+	scratch := make([]sqldb.Value, len(GalaxyColumns()))
+	rowAt := func(i int) []sqldb.Value {
+		g := &cat.Galaxies[keep[i]]
+		scratch[0] = sqldb.Int(g.ObjID)
+		scratch[1] = sqldb.Float(g.Ra)
+		scratch[2] = sqldb.Float(g.Dec)
+		scratch[3] = sqldb.Float(g.I)
+		scratch[4] = sqldb.Float(g.Gr)
+		scratch[5] = sqldb.Float(g.Ri)
+		scratch[6] = sqldb.Float(g.SigmaGr)
+		scratch[7] = sqldb.Float(g.SigmaRi)
+		return scratch
 	}
 	if f.Ingest == IngestTrickle {
-		for i, row := range rows {
-			if err := f.galaxyT.Insert(row); err != nil {
+		for i := range keep {
+			if err := f.galaxyT.Insert(rowAt(i)); err != nil {
 				return int64(i), err
 			}
 		}
-		return int64(len(rows)), nil
+		return int64(len(keep)), nil
 	}
-	if err := f.galaxyT.BulkInsert(rows); err != nil {
+	if err := f.galaxyT.BulkInsertFunc(len(keep), rowAt); err != nil {
 		return 0, err
 	}
-	return int64(len(rows)), nil
+	return int64(len(keep)), nil
 }
 
 // decodeGalaxy reads one Galaxy-schema row (see GalaxyColumns for the
@@ -217,14 +248,21 @@ func (f *DBFinder) readGalaxies() ([]sky.Galaxy, error) {
 
 // SpZone builds the zone table from the Galaxy table: assigns zone ids and
 // clusters the storage on (zoneid, ra). This is the paper's spZone task.
+// Under StoreColumnar (and bulk ingest) the same sorted run also
+// materialises the column-major projection the batched sweeps read.
 func (f *DBFinder) SpZone() error {
 	gals, err := f.readGalaxies()
 	if err != nil {
 		return err
 	}
-	if f.Ingest == IngestTrickle {
+	switch {
+	case f.Ingest == IngestTrickle:
+		// The trickle ablation measures the per-row insert path; it keeps
+		// the row-only zone table (sweeps fall back to the row store).
 		f.zoneT, err = zone.InstallZoneTableTrickle(f.DB, "Zone", gals, f.ZoneHeight)
-	} else {
+	case f.Store == StoreColumnar:
+		f.zoneT, err = zone.InstallZoneTableColumnar(f.DB, "Zone", gals, f.ZoneHeight)
+	default:
 		f.zoneT, err = zone.InstallZoneTable(f.DB, "Zone", gals, f.ZoneHeight)
 	}
 	if err != nil {
@@ -232,6 +270,19 @@ func (f *DBFinder) SpZone() error {
 	}
 	zone.RegisterNearbyTVF(f.DB, f.zoneT, f.ZoneHeight)
 	return nil
+}
+
+// sweepZone answers one probe batch against the zone table through the
+// configured representation: the columnar projection when installed, the
+// row B+tree otherwise. Both paths emit bit-identical call sequences;
+// worker CPU accumulates into sweepStats for the task report.
+func (f *DBFinder) sweepZone(probes []zone.Probe, fn func(int, zone.ZoneRow)) error {
+	if f.Store == StoreColumnar {
+		if ct := f.zoneT.Columnar(); ct != nil {
+			return zone.ParallelBatchSearchColumnarStats(ct, f.ZoneHeight, probes, f.Workers, &f.sweepStats, fn)
+		}
+	}
+	return zone.ParallelBatchSearchStats(f.zoneT, f.ZoneHeight, probes, f.Workers, &f.sweepStats, fn)
 }
 
 type dbSearcher struct {
@@ -276,31 +327,56 @@ func (f *DBFinder) MakeCandidates(area astro.Box) (int64, error) {
 		return 0, err
 	}
 	var (
-		n   int64
-		err error
+		rows [][]sqldb.Value
+		err  error
 	)
 	if f.Mode == SearchProbe {
-		n, err = f.makeCandidatesProbe(area)
+		rows, err = f.makeCandidatesProbe(area)
 	} else {
-		n, err = f.makeCandidatesBatch(area)
+		rows, err = f.makeCandidatesBatch(area)
 	}
 	if err != nil {
-		return n, err
+		return 0, err
 	}
-	return n, f.buildCandidateZones()
+	// The candidate rows staged per batch land in one bulk load (per-row
+	// Insert under the trickle ablation); either way the table contents
+	// and rowid order match the historical insert-inside-the-loop path.
+	if err := f.storeRows(f.candT, rows); err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), f.buildCandidateZones()
+}
+
+// storeRows lands one task's staged output rows: through the bulk-load
+// path by default, through per-row Insert under the IngestTrickle
+// ablation. Output tables used to trickle row-at-a-time *inside* the
+// measured tasks; staging keeps the tree build out of the inner loop.
+func (f *DBFinder) storeRows(t *sqldb.Table, rows [][]sqldb.Value) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if f.Ingest == IngestTrickle {
+		for _, r := range rows {
+			if err := t.Insert(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return t.BulkInsert(rows)
 }
 
 // makeCandidatesProbe is the original row-at-a-time plan: one full
 // neighbour search per galaxy. Kept as the ablation baseline the batched
-// zone join is measured against.
-func (f *DBFinder) makeCandidatesProbe(area astro.Box) (int64, error) {
+// zone join is measured against. It returns the staged candidate rows.
+func (f *DBFinder) makeCandidatesProbe(area astro.Box) ([][]sqldb.Value, error) {
 	s := dbSearcher{t: f.zoneT, height: f.ZoneHeight}
 	cur, err := f.galaxyT.Scan()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer cur.Close()
-	var n int64
+	var rows [][]sqldb.Value
 	for cur.Next() {
 		g := decodeGalaxy(cur.Row())
 		if !area.Contains(g.Ra, g.Dec) {
@@ -308,17 +384,14 @@ func (f *DBFinder) makeCandidatesProbe(area astro.Box) (int64, error) {
 		}
 		c, ok, err := BCGCandidate(f.Params, &g, f.Kcorr, s)
 		if err != nil {
-			return n, err
+			return nil, err
 		}
 		if !ok {
 			continue
 		}
-		if err := f.insertCandidate(c); err != nil {
-			return n, err
-		}
-		n++
+		rows = append(rows, candidateRow(c))
 	}
-	return n, cur.Err()
+	return rows, cur.Err()
 }
 
 // candidateBatchSize bounds how many probe galaxies buffer per sweep:
@@ -339,16 +412,16 @@ type candProbe struct {
 // makeCandidatesBatch is the batched zone join: galaxies that survive the
 // χ² filter buffer into batches whose probe centres are answered together
 // by one synchronized sweep per zone, then the per-redshift counting runs
-// per galaxy in scan order, so the Candidates table ends up identical to
-// the probe path's.
-func (f *DBFinder) makeCandidatesBatch(area astro.Box) (int64, error) {
+// per galaxy in scan order, so the staged rows end up identical to the
+// probe path's.
+func (f *DBFinder) makeCandidatesBatch(area astro.Box) ([][]sqldb.Value, error) {
 	cur, err := f.galaxyT.Scan()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer cur.Close()
 	var (
-		n      int64
+		out    [][]sqldb.Value
 		batch  []candProbe
 		probes []zone.Probe
 	)
@@ -360,7 +433,7 @@ func (f *DBFinder) makeCandidatesBatch(area astro.Box) (int64, error) {
 		for i := range batch {
 			probes = append(probes, zone.Probe{Ra: batch[i].g.Ra, Dec: batch[i].g.Dec, R: batch[i].w.rad})
 		}
-		err := zone.ParallelBatchSearch(f.zoneT, f.ZoneHeight, probes, f.Workers, func(pi int, zr zone.ZoneRow) {
+		err := f.sweepZone(probes, func(pi int, zr zone.ZoneRow) {
 			b := &batch[pi]
 			nb := Neighbor{
 				ObjID: zr.ObjID, Ra: zr.Ra, Dec: zr.Dec,
@@ -379,10 +452,7 @@ func (f *DBFinder) makeCandidatesBatch(area astro.Box) (int64, error) {
 			if !ok {
 				continue
 			}
-			if err := f.insertCandidate(c); err != nil {
-				return err
-			}
-			n++
+			out = append(out, candidateRow(c))
 		}
 		batch = batch[:0]
 		return nil
@@ -401,22 +471,22 @@ func (f *DBFinder) makeCandidatesBatch(area astro.Box) (int64, error) {
 		batch = append(batch, candProbe{g: g, rows: append([]chiRow(nil), rows...), w: w})
 		if len(batch) >= candidateBatchSize {
 			if err := flush(); err != nil {
-				return n, err
+				return nil, err
 			}
 		}
 	}
 	if err := cur.Err(); err != nil {
-		return n, err
+		return nil, err
 	}
-	return n, flush()
+	return out, flush()
 }
 
-// insertCandidate appends one row to the Candidates table.
-func (f *DBFinder) insertCandidate(c Candidate) error {
-	return f.candT.Insert([]sqldb.Value{
+// candidateRow encodes one candidate in the candidate-schema column order.
+func candidateRow(c Candidate) []sqldb.Value {
+	return []sqldb.Value{
 		sqldb.Int(c.ObjID), sqldb.Float(c.Ra), sqldb.Float(c.Dec),
 		sqldb.Float(c.Z), sqldb.Float(c.I), sqldb.Int(int64(c.NGal)), sqldb.Float(c.Chi2),
-	})
+	}
 }
 
 // buildCandidateZones clusters the candidates by (zoneid, ra) so fIsCluster
@@ -562,7 +632,7 @@ func (f *DBFinder) MakeClusters(target astro.Box) (int64, error) {
 		return 0, err
 	}
 	defer cur.Close()
-	var n int64
+	var rows [][]sqldb.Value
 	for cur.Next() {
 		row := cur.Row()
 		var c Candidate
@@ -579,21 +649,20 @@ func (f *DBFinder) MakeClusters(target astro.Box) (int64, error) {
 		c.Chi2, _ = row[6].AsFloat()
 		isC, err := IsCluster(f.Params, c, f.Kcorr, cs)
 		if err != nil {
-			return n, err
+			return 0, err
 		}
 		if !isC {
 			continue
 		}
-		ins := []sqldb.Value{
-			sqldb.Int(c.ObjID), sqldb.Float(c.Ra), sqldb.Float(c.Dec),
-			sqldb.Float(c.Z), sqldb.Float(c.I), sqldb.Int(int64(c.NGal)), sqldb.Float(c.Chi2),
-		}
-		if err := f.clusterT.Insert(ins); err != nil {
-			return n, err
-		}
-		n++
+		rows = append(rows, candidateRow(c))
 	}
-	return n, cur.Err()
+	if err := cur.Err(); err != nil {
+		return 0, err
+	}
+	if err := f.storeRows(f.clusterT, rows); err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), nil
 }
 
 // MakeMembers fills ClusterGalaxiesMetric for every cluster (the paper's
@@ -622,19 +691,18 @@ func (f *DBFinder) MakeMembers() (int64, error) {
 			return 0, err
 		}
 	}
-	var n int64
+	var rows [][]sqldb.Value
 	for _, members := range lists {
 		for _, m := range members {
-			ins := []sqldb.Value{
+			rows = append(rows, []sqldb.Value{
 				sqldb.Int(m.ClusterObjID), sqldb.Int(m.GalaxyObjID), sqldb.Float(m.Distance),
-			}
-			if err := f.memberT.Insert(ins); err != nil {
-				return n, err
-			}
-			n++
+			})
 		}
 	}
-	return n, nil
+	if err := f.storeRows(f.memberT, rows); err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), nil
 }
 
 // clusterMembersBatch answers every cluster's membership search with one
@@ -655,7 +723,7 @@ func (f *DBFinder) clusterMembersBatch(clusters []Candidate) ([][]Member, error)
 		lists[i] = []Member{{ClusterObjID: c.ObjID, GalaxyObjID: c.ObjID, Distance: 0}}
 	}
 	p := f.Params
-	err := zone.ParallelBatchSearch(f.zoneT, f.ZoneHeight, probes, f.Workers, func(pi int, zr zone.ZoneRow) {
+	err := f.sweepZone(probes, func(pi int, zr zone.ZoneRow) {
 		c := &clusters[pi]
 		k := &krows[pi]
 		if zr.ObjID == c.ObjID || zr.Distance >= rads[pi] {
@@ -699,10 +767,11 @@ func (r TaskReport) Total() perfmodel.TaskStats {
 // Run executes the full pipeline for target T against the already-imported
 // Galaxy table, measuring each task. includeMembers adds the member
 // retrieval step (not part of the paper's Table 1, reported separately).
-// The CPU column is the calling OS thread's clock, like SQL Server's
-// per-statement CPU: with Workers > 1 the sweep workers' cycles run on
-// other threads and are deliberately not attributed, so elapsed < CPU no
-// longer holds and the elapsed column is the one to compare.
+// The CPU column sums the calling OS thread's clock with the sweep worker
+// threads' clocks (zone.SweepStats), so it is a true total under
+// Workers > 1 — like SQL Server's per-statement CPU, where parallel plan
+// branches all bill the statement and cpu(s) > elapse(s) signals
+// parallelism.
 func (f *DBFinder) Run(target astro.Box, includeMembers bool) (*Result, TaskReport, error) {
 	runtime.LockOSThread()
 	defer runtime.UnlockOSThread()
@@ -713,11 +782,12 @@ func (f *DBFinder) Run(target astro.Box, includeMembers bool) (*Result, TaskRepo
 		ioBefore := pool.Stats()
 		start := time.Now()
 		cpuStart := perfmodel.ThreadCPU()
+		workerStart := f.sweepStats.WorkerCPU()
 		err := fn()
 		report.Tasks = append(report.Tasks, perfmodel.TaskStats{
 			Name:    name,
 			Elapsed: time.Since(start),
-			CPU:     perfmodel.ThreadCPU() - cpuStart,
+			CPU:     perfmodel.ThreadCPU() - cpuStart + f.sweepStats.WorkerCPU() - workerStart,
 			IO:      pool.Stats().Sub(ioBefore).Total(),
 		})
 		return err

@@ -169,10 +169,20 @@ func (b *SortedRunBuilder) Emit(fn func(key, value []byte) error) error {
 // assigned in slice order, matching a sequence of Insert calls, and
 // subsequent Insert calls continue from the correct rowid and identity.
 func (t *Table) BulkInsert(rows [][]Value) error {
+	return t.BulkInsertFunc(len(rows), func(i int) []Value { return rows[i] })
+}
+
+// BulkInsertFunc is BulkInsert over a row generator instead of a
+// materialised slice: rowAt(i) is called once for each i in [0, n), in
+// order, and may return the same backing slice every time — each row is
+// encoded into the sorted run before the next call. Large loads whose rows
+// are derived from an in-memory source (spZone, spImportGalaxy) stream
+// through one scratch row instead of allocating n of them.
+func (t *Table) BulkInsertFunc(n int, rowAt func(i int) []Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	oldRowID, oldIdentity := t.nextRowID, t.nextIdentity
-	if err := t.bulkInsertLocked(rows); err != nil {
+	if err := t.bulkInsertLocked(n, rowAt); err != nil {
 		// No rows landed, so no ids were really consumed: put the counters
 		// back so a corrected retry numbers rows as if the failed batch
 		// never happened.
@@ -182,14 +192,15 @@ func (t *Table) BulkInsert(rows [][]Value) error {
 	return nil
 }
 
-func (t *Table) bulkInsertLocked(rows [][]Value) error {
-	if len(rows) == 0 {
+func (t *Table) bulkInsertLocked(n int, rowAt func(i int) []Value) error {
+	if n == 0 {
 		return nil
 	}
 	b := NewSortedRunBuilder()
 	vals := make([]Value, len(t.Cols))
 	var keyBuf, rowBuf []byte // per-row scratch; Add copies into the run slab
-	for _, row := range rows {
+	for ri := 0; ri < n; ri++ {
+		row := rowAt(ri)
 		if len(row) != len(t.Cols) {
 			return fmt.Errorf("sqldb: INSERT into %s has %d values for %d columns", t.Name, len(row), len(t.Cols))
 		}
@@ -265,6 +276,7 @@ func (t *Table) loadRunLocked(b *SortedRunBuilder) error {
 	}
 	t.tree = tree
 	t.rows += added
+	t.columnar = nil // the projection no longer covers every row
 	return nil
 }
 

@@ -314,44 +314,58 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
 		return row, nil
 	}
 
-	var n int64
+	// Both INSERT forms stage their rows first and land multi-row batches
+	// through the bulk-load path (encode once, sort the run, build packed
+	// pages) instead of trickling one tree descent per row — the spZone
+	// shape "fill a table from a query, then cluster it" gets the batch
+	// ingest plan from plain SQL. Staging also makes the statement atomic:
+	// a mid-batch failure (bad value, duplicate key) leaves the table
+	// untouched instead of half-loaded.
+	var batch [][]Value
 	if s.Query != nil {
 		rows, err := db.execSelect(s.Query, params)
 		if err != nil {
 			return 0, err
 		}
+		batch = make([][]Value, 0, rows.Len())
 		for rows.Next() {
 			row, err := buildRow(rows.Row())
 			if err != nil {
-				return n, err
+				return 0, err
 			}
-			if err := t.Insert(row); err != nil {
-				return n, err
-			}
-			n++
+			batch = append(batch, row)
 		}
-		return n, nil
-	}
-	ev := &env{params: params, db: db}
-	for _, exprs := range s.Rows {
-		vals := make([]Value, len(exprs))
-		for i, e := range exprs {
-			v, err := eval(e, ev)
+	} else {
+		ev := &env{params: params, db: db}
+		batch = make([][]Value, 0, len(s.Rows))
+		for _, exprs := range s.Rows {
+			vals := make([]Value, len(exprs))
+			for i, e := range exprs {
+				v, err := eval(e, ev)
+				if err != nil {
+					return 0, err
+				}
+				vals[i] = v
+			}
+			row, err := buildRow(vals)
 			if err != nil {
-				return n, err
+				return 0, err
 			}
-			vals[i] = v
+			batch = append(batch, row)
 		}
-		row, err := buildRow(vals)
-		if err != nil {
-			return n, err
-		}
-		if err := t.Insert(row); err != nil {
-			return n, err
-		}
-		n++
 	}
-	return n, nil
+	if len(batch) == 1 {
+		// A single row keeps the point-insert plan: one descent beats
+		// BulkInsert's whole-table merge on a non-empty target.
+		if err := t.Insert(batch[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	if err := t.BulkInsert(batch); err != nil {
+		return 0, err
+	}
+	return int64(len(batch)), nil
 }
 
 // execUpdate rewrites the table: matching rows get their SET columns

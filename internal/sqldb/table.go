@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/colstore"
 	"repro/internal/storage"
 )
 
@@ -33,6 +34,7 @@ type Table struct {
 	rows         int64
 	nextRowID    int64
 	nextIdentity int64
+	columnar     *colstore.Table // optional column-major projection; nil when stale
 }
 
 func newTable(pool *storage.Pool, name string, cols []Column, keyCols []int, unique bool) (*Table, error) {
@@ -61,6 +63,27 @@ func (t *Table) NumRows() int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.rows
+}
+
+// SetColumnar attaches a column-major projection of the table's current
+// rows (see internal/colstore): scan-heavy callers can then iterate packed
+// column arrays instead of decoding row payloads — the batched zone sweep
+// reads the projection, while point probes and SQL keep using the row
+// store. The projection is a snapshot, not a maintained index: any write
+// (Insert, BulkInsert, Truncate, ReplaceAll, Recluster) detaches it, so a
+// non-nil Columnar() is always consistent with the rows.
+func (t *Table) SetColumnar(ct *colstore.Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.columnar = ct
+}
+
+// Columnar returns the attached column-major projection, or nil if none
+// was attached or a write has detached it.
+func (t *Table) Columnar() *colstore.Table {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.columnar
 }
 
 // encodeKey builds the clustered key for a row. Each key column is encoded
@@ -316,6 +339,7 @@ func (t *Table) Insert(row []Value) error {
 		return err
 	}
 	t.rows++
+	t.columnar = nil // the projection no longer covers every row
 	return nil
 }
 
@@ -543,6 +567,7 @@ func (t *Table) Truncate() error {
 	t.rows = 0
 	t.nextRowID = 1
 	t.nextIdentity = 1
+	t.columnar = nil
 	return nil
 }
 
@@ -569,9 +594,10 @@ func (t *Table) ReplaceAll(rows [][]Value) error {
 			return err
 		}
 		t.tree = tree
+		t.columnar = nil
 		return nil
 	}
-	if err := t.bulkInsertLocked(rows); err != nil {
+	if err := t.bulkInsertLocked(len(rows), func(i int) []Value { return rows[i] }); err != nil {
 		t.rows, t.nextRowID, t.nextIdentity = oldRows, oldRowID, oldIdentity
 		return err
 	}

@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Columnar page kind: internal/colstore stores column-major segments in
+// pages of the same buffer pool that backs the B+tree, so segment I/O lands
+// in the same LogicalReads/PhysicalReads/PhysicalWrites counters behind the
+// paper's Table 1 I/O column. A segment page holds up to one page-full of
+// one zone's rows with every column packed as a contiguous 8-byte-wide
+// array; byte 0 distinguishes it from B+tree nodes (1 leaf, 2 internal).
+//
+// Page layout:
+//
+//	byte  0      page kind: PageKindColumnar
+//	byte  1      format version (currently 1)
+//	bytes 2-3    uint16 row count
+//	bytes 4-7    reserved (zero)
+//	bytes 8-15   int64 group key (colstore's grouping column, e.g. zoneid)
+//	bytes 16-23  float64 min sort key (e.g. the segment's smallest ra)
+//	bytes 24-31  float64 max sort key (e.g. the segment's largest ra)
+//	bytes 32-    column arrays, 8 x row count bytes each, in schema order
+const (
+	// PageKindColumnar tags a column-major segment page.
+	PageKindColumnar = 3
+	columnarVersion  = 1
+	// ColumnarHeaderSize is the byte offset of the first column array.
+	ColumnarHeaderSize = 32
+)
+
+// ColumnarHeader is the decoded fixed header of a columnar segment page.
+// The min/max sort keys are the page-level pruning bound: a scan that knows
+// its key window can skip fetching segments the window cannot reach.
+type ColumnarHeader struct {
+	Rows    int
+	Group   int64
+	MinSort float64
+	MaxSort float64
+}
+
+// PutColumnarHeader formats buf (a full page) as a columnar segment page.
+func PutColumnarHeader(buf []byte, h ColumnarHeader) {
+	buf[0] = PageKindColumnar
+	buf[1] = columnarVersion
+	binary.LittleEndian.PutUint16(buf[2:], uint16(h.Rows))
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(h.Group))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(h.MinSort))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(h.MaxSort))
+}
+
+// ReadColumnarHeader decodes and validates the fixed header of a columnar
+// segment page.
+func ReadColumnarHeader(buf []byte) (ColumnarHeader, error) {
+	if buf[0] != PageKindColumnar {
+		return ColumnarHeader{}, fmt.Errorf("storage: page is not columnar (kind %d)", buf[0])
+	}
+	if buf[1] != columnarVersion {
+		return ColumnarHeader{}, fmt.Errorf("storage: columnar page version %d, want %d", buf[1], columnarVersion)
+	}
+	return ColumnarHeader{
+		Rows:    int(binary.LittleEndian.Uint16(buf[2:])),
+		Group:   int64(binary.LittleEndian.Uint64(buf[8:])),
+		MinSort: math.Float64frombits(binary.LittleEndian.Uint64(buf[16:])),
+		MaxSort: math.Float64frombits(binary.LittleEndian.Uint64(buf[24:])),
+	}, nil
+}

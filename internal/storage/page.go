@@ -1,8 +1,9 @@
 // Package storage implements the on-disk substrate of the reproduction's
 // database engine: 8 KiB slotted pages, page stores (file-backed and
 // in-memory), a pinning buffer pool with hit/miss/write accounting, a B+tree
-// used as the clustered index the paper's spZone builds, and order-preserving
-// key encodings.
+// used as the clustered index the paper's spZone builds, the columnar
+// segment page kind behind internal/colstore, and order-preserving key
+// encodings.
 //
 // The buffer pool's counters are what let the benchmark harness report the
 // "I/O" column of the paper's Table 1.

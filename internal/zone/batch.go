@@ -6,8 +6,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/astro"
+	"repro/internal/perfmodel"
 	"repro/internal/sqldb"
 )
 
@@ -20,6 +22,12 @@ import (
 // obligation by (zone, ra) and drives one synchronized cursor per zone
 // through the clustered (zoneid, ra) order, testing each fetched row
 // against exactly the probes whose window covers it.
+//
+// The sweep is generic over the zone table's physical representation: a
+// zoneSweeper answers one zone's windows, and both the sequential driver
+// and the worker pool only ever talk to that interface. rowSweeper (this
+// file) walks the row-major clustered B+tree; colSweeper (colsweep.go)
+// walks the column-major segment pages. Their emissions are bit-identical.
 
 // Probe is one centre of a batched neighbour search: a position and a
 // search radius, all in degrees.
@@ -70,6 +78,43 @@ func buildWindows(heightDeg float64, probes []Probe) (ws []batchWindow, centers 
 	return ws, centers, r2s
 }
 
+// zoneSweeper answers one zone's worth of sorted windows at a time.
+// Implementations carry the per-worker state of one physical access path —
+// a reusable cursor over the row B+tree, or a segment scanner over the
+// columnar pages — so the sequential driver and the parallel pool share
+// every line of orchestration, and a worker's state never crosses
+// goroutines.
+type zoneSweeper interface {
+	// sweepZone merges ws (one zone's windows, sorted by lo) against the
+	// zone's rows in ra order, emitting hits exactly as SearchTable would
+	// per probe. On error the sweeper must be left reusable or inert; the
+	// drivers stop at the first error either way.
+	sweepZone(ws []batchWindow, centers []astro.Vec3, r2s []float64, emit func(int, ZoneRow)) error
+	// close releases cursors/pins. Called once per sweeper.
+	close()
+}
+
+// rowSweeper is the zoneSweeper over the row-major clustered zone table:
+// one reusable TableCursor, re-seeked per window gap, with lazy column
+// decode (the chord test reads only the leading chordTestCols columns).
+type rowSweeper struct {
+	t      *sqldb.Table
+	cur    *sqldb.TableCursor
+	active []batchWindow
+}
+
+func (s *rowSweeper) sweepZone(ws []batchWindow, centers []astro.Vec3, r2s []float64, emit func(int, ZoneRow)) error {
+	var err error
+	s.cur, s.active, err = sweepZoneRows(s.t, ws, s.cur, s.active, centers, r2s, emit)
+	return err
+}
+
+func (s *rowSweeper) close() {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+}
+
 // BatchSearch answers every probe against the zone table in one pass and
 // calls fn(probe index, neighbour row) for each hit. Per probe it emits
 // rows in the same (zone ascending, ra ascending) order as SearchTable, and
@@ -81,7 +126,7 @@ func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(prob
 		return nil
 	}
 	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepWindows(t, ws, centers, r2s, fn)
+	return sweepSequential(&rowSweeper{t: t}, ws, centers, r2s, fn)
 }
 
 // zoneEnd returns the end of the same-zone window run beginning at ws[i]:
@@ -95,23 +140,15 @@ func zoneEnd(ws []batchWindow, i int) int {
 	return j
 }
 
-// sweepWindows is the sequential back half of BatchSearch: one cursor
-// sweeps the prebuilt zone-grouped windows in order. ParallelBatchSearch
-// reuses it when the probe set collapses to too few zones to parallelise.
-func sweepWindows(t *sqldb.Table, ws []batchWindow, centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) error {
-	var (
-		cur    *sqldb.TableCursor
-		active []batchWindow
-		err    error
-	)
-	defer func() {
-		if cur != nil {
-			cur.Close()
-		}
-	}()
+// sweepSequential drives one sweeper through the prebuilt zone-grouped
+// windows in order: the back half of BatchSearch and
+// BatchSearchColumnar, and the fallback when a probe set collapses to too
+// few zones to parallelise.
+func sweepSequential(sw zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) error {
+	defer sw.close()
 	for i := 0; i < len(ws); {
 		j := zoneEnd(ws, i)
-		if cur, active, err = sweepZone(t, ws[i:j], cur, active, centers, r2s, fn); err != nil {
+		if err := sw.sweepZone(ws[i:j], centers, r2s, fn); err != nil {
 			return err
 		}
 		i = j
@@ -128,8 +165,27 @@ type batchHit struct {
 
 // errSweepSkipped marks a zone a worker declined to sweep because an
 // earlier failure already aborted the search; it is filtered out of
-// ParallelBatchSearch's return value in favour of the real error.
+// the parallel sweep's return value in favour of the real error.
 var errSweepSkipped = errors.New("zone: sweep skipped after earlier failure")
+
+// SweepStats accumulates measurements a parallel sweep cannot surface
+// through its return value: the CPU time its worker threads consume.
+// DBFinder adds WorkerCPU to the calling thread's clock so the paper's
+// cpu(s) column stays a true total under Workers > 1 (each worker pins its
+// goroutine to an OS thread and reads the thread clock around its whole
+// run). Safe for concurrent use; the zero value is ready.
+type SweepStats struct {
+	workerCPU atomic.Int64 // nanoseconds
+}
+
+func (s *SweepStats) addWorkerCPU(d time.Duration) { s.workerCPU.Add(int64(d)) }
+
+// WorkerCPU returns the total CPU time consumed so far by sweep worker
+// threads (excluding the calling goroutine's, which the caller can measure
+// itself).
+func (s *SweepStats) WorkerCPU() time.Duration {
+	return time.Duration(s.workerCPU.Load())
+}
 
 // ParallelBatchSearch is BatchSearch swept by a pool of workers: zones are
 // independent by construction (each is a disjoint clustered-key range), so
@@ -148,6 +204,12 @@ var errSweepSkipped = errors.New("zone: sweep skipped after earlier failure")
 // scheduling, so callers must discard partial results on error (all
 // current callers do).
 func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, workers int, fn func(probe int, zr ZoneRow)) error {
+	return ParallelBatchSearchStats(t, heightDeg, probes, workers, nil, fn)
+}
+
+// ParallelBatchSearchStats is ParallelBatchSearch accumulating worker-pool
+// measurements into stats (which may be nil).
+func ParallelBatchSearchStats(t *sqldb.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -155,7 +217,15 @@ func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, work
 		return BatchSearch(t, heightDeg, probes, fn)
 	}
 	ws, centers, r2s := buildWindows(heightDeg, probes)
+	return sweepParallel(func() zoneSweeper { return &rowSweeper{t: t} },
+		ws, centers, r2s, workers, stats, fn)
+}
 
+// sweepParallel runs the zone-grouped windows on a worker pool, one
+// sweeper per worker (newSweeper is called on the worker's goroutine).
+// See ParallelBatchSearch for the output contract this implements.
+func sweepParallel(newSweeper func() zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64,
+	workers int, stats *SweepStats, fn func(int, ZoneRow)) error {
 	// Group the windows by zone: groups[g] = ws[starts[g]:starts[g+1]].
 	var starts []int
 	for i := 0; i < len(ws); i = zoneEnd(ws, i) {
@@ -164,7 +234,7 @@ func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, work
 	starts = append(starts, len(ws))
 	groups := len(starts) - 1
 	if groups <= 1 {
-		return sweepWindows(t, ws, centers, r2s, fn)
+		return sweepSequential(newSweeper(), ws, centers, r2s, fn)
 	}
 	if workers > groups {
 		workers = groups
@@ -193,15 +263,17 @@ func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, work
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var (
-				cur    *sqldb.TableCursor
-				active []batchWindow
-			)
-			defer func() {
-				if cur != nil {
-					cur.Close()
-				}
-			}()
+			if stats != nil {
+				// Pin to an OS thread so the thread clock measures exactly
+				// this worker; the pin dies with the goroutine.
+				runtime.LockOSThread()
+				cpuStart := perfmodel.ThreadCPU()
+				defer func() {
+					stats.addWorkerCPU(perfmodel.ThreadCPU() - cpuStart)
+				}()
+			}
+			sw := newSweeper()
+			defer sw.close()
 			for {
 				tokens <- struct{}{}
 				g := int(atomic.AddInt64(&next, 1)) - 1
@@ -212,7 +284,7 @@ func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, work
 				if atomic.LoadInt32(&stop) == 0 {
 					buf := bufs.Get().(*[]batchHit)
 					*buf = (*buf)[:0]
-					cur, active, errs[g] = sweepZone(t, ws[starts[g]:starts[g+1]], cur, active, centers, r2s,
+					errs[g] = sw.sweepZone(ws[starts[g]:starts[g+1]], centers, r2s,
 						func(pi int, zr ZoneRow) {
 							*buf = append(*buf, batchHit{probe: int32(pi), row: zr})
 						})
@@ -261,12 +333,12 @@ func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, work
 	return firstErr
 }
 
-// sweepZone merges one zone's windows (sorted by lo) against the zone's
+// sweepZoneRows merges one zone's windows (sorted by lo) against the zone's
 // rows with a single forward cursor: windows activate as the scan reaches
 // their lower ra bound, expire past their upper bound, and the cursor
 // re-seeks only across gaps no window covers. Each row is decoded once and
 // tested against the active windows.
-func sweepZone(t *sqldb.Table, ws []batchWindow, cur *sqldb.TableCursor, active []batchWindow,
+func sweepZoneRows(t *sqldb.Table, ws []batchWindow, cur *sqldb.TableCursor, active []batchWindow,
 	centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) (*sqldb.TableCursor, []batchWindow, error) {
 	zoneVal := sqldb.Int(int64(ws[0].zone))
 	loVals := [2]sqldb.Value{zoneVal, {}}

@@ -1,0 +1,198 @@
+package zone
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"repro/internal/astro"
+	"repro/internal/colstore"
+	"repro/internal/sqldb"
+)
+
+// Columnar zone sweep: the row sweep decodes 7 of 10 row-major columns per
+// chord test just to run float arithmetic over ra/cx/cy/cz. The columnar
+// zone store (internal/colstore) keeps the same rows as column-major
+// segment pages — packed float64 arrays per column, one zone per segment
+// run, per-segment min/max ra in an in-memory directory — so the chord
+// test becomes a pure scan over raw float slices: no key decode, no null
+// bitmap, no per-row Value materialisation. Window skipping happens at
+// page granularity through the directory bounds, the columnar analogue of
+// the row path's cursor re-seek.
+//
+// The arithmetic, the activation/expiry rules, and the emission order are
+// the row sweep's exactly (shared through the zoneSweeper drivers in
+// batch.go), so BatchSearchColumnar and ParallelBatchSearchColumnar are
+// bit-identical to their row counterparts — pinned by the equivalence
+// tests in colsweep_test.go.
+
+// Schema indices of the zone table's columns, shared by ZoneTableColumns
+// (the row store) and ColumnarZoneSchema (the columnar projection).
+const (
+	colZoneID = iota
+	colObjID
+	colRa
+	colDec
+	colCx
+	colCy
+	colCz
+	colI
+	colGr
+	colRi
+)
+
+// ColumnarZoneSchema returns the colstore schema of a zone table's
+// column-major projection: the columns of ZoneTableColumns, same names,
+// same order, with TInt mapped to Int64 and TFloat to Float64.
+func ColumnarZoneSchema() colstore.Schema {
+	cols := ZoneTableColumns()
+	sch := make(colstore.Schema, len(cols))
+	for i, c := range cols {
+		k := colstore.Float64
+		if c.Type == sqldb.TInt {
+			k = colstore.Int64
+		}
+		sch[i] = colstore.Column{Name: c.Name, Kind: k}
+	}
+	return sch
+}
+
+// checkColumnarZone verifies ct was built as a zone projection (schema,
+// grouping by zoneid, sorted by ra) before a sweep trusts its layout.
+func checkColumnarZone(ct *colstore.Table) error {
+	if ct == nil {
+		return fmt.Errorf("zone: nil columnar zone table")
+	}
+	if !ct.Schema().Equal(ColumnarZoneSchema()) || ct.GroupCol() != colZoneID || ct.SortCol() != colRa {
+		return fmt.Errorf("zone: columnar table is not a (zoneid, ra) zone projection")
+	}
+	return nil
+}
+
+// colSweeper is the zoneSweeper over the columnar zone store: one segment
+// scanner (reused column scratch) per worker.
+type colSweeper struct {
+	t      *colstore.Table
+	scan   *colstore.Scanner
+	active []batchWindow
+}
+
+func (s *colSweeper) close() {}
+
+func (s *colSweeper) sweepZone(ws []batchWindow, centers []astro.Vec3, r2s []float64, emit func(int, ZoneRow)) error {
+	if s.scan == nil {
+		s.scan = s.t.NewScanner()
+	}
+	segs := s.t.GroupSegments(int64(ws[0].zone))
+	active := s.active[:0]
+	defer func() { s.active = active[:0] }()
+	k := 0
+scan:
+	for _, m := range segs {
+		if len(active) == 0 {
+			if k >= len(ws) {
+				// Every window is expired; nothing left to match.
+				break
+			}
+			if m.MaxSort < ws[k].lo {
+				// Window skipping: the directory bound proves no remaining
+				// window reaches into this page, so don't fetch it — the
+				// columnar analogue of the row cursor's gap re-seek.
+				continue
+			}
+		}
+		if err := s.scan.Load(m); err != nil {
+			return err
+		}
+		ra := s.scan.Floats(colRa)
+		cx := s.scan.Floats(colCx)
+		cy := s.scan.Floats(colCy)
+		cz := s.scan.Floats(colCz)
+		for r := 0; r < len(ra); r++ {
+			rav := ra[r]
+			for k < len(ws) && ws[k].lo <= rav {
+				active = append(active, ws[k])
+				k++
+			}
+			keep := active[:0]
+			for _, w := range active {
+				if w.hi >= rav {
+					keep = append(keep, w)
+				}
+			}
+			active = keep
+			if len(active) == 0 {
+				if k >= len(ws) {
+					break scan
+				}
+				// Gap inside the segment: hop straight to the first row the
+				// next window can cover instead of testing every row.
+				r += sort.SearchFloat64s(ra[r+1:], ws[k].lo)
+				continue
+			}
+			cxv, cyv, czv := cx[r], cy[r], cz[r]
+			var out ZoneRow
+			decoded := false
+			for _, w := range active {
+				c := &centers[w.probe]
+				dx := cxv - c.X
+				dy := cyv - c.Y
+				dz := czv - c.Z
+				c2 := dx*dx + dy*dy + dz*dz
+				if c2 >= r2s[w.probe] {
+					continue
+				}
+				if !decoded {
+					out.ObjID = s.scan.Ints(colObjID)[r]
+					out.Ra = rav
+					out.Dec = s.scan.Floats(colDec)[r]
+					out.I = s.scan.Floats(colI)[r]
+					out.Gr = s.scan.Floats(colGr)[r]
+					out.Ri = s.scan.Floats(colRi)[r]
+					decoded = true
+				}
+				out.Distance = chordDeg(c2)
+				emit(int(w.probe), out)
+			}
+		}
+	}
+	return nil
+}
+
+// BatchSearchColumnar is BatchSearch over the column-major zone store: the
+// same probes, the same hits in the same order (bit-identical to the row
+// sweep), with the chord test iterating raw float slices.
+func BatchSearchColumnar(ct *colstore.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
+	if err := checkColumnarZone(ct); err != nil {
+		return err
+	}
+	if len(probes) == 0 {
+		return nil
+	}
+	ws, centers, r2s := buildWindows(heightDeg, probes)
+	return sweepSequential(&colSweeper{t: ct}, ws, centers, r2s, fn)
+}
+
+// ParallelBatchSearchColumnar is ParallelBatchSearch over the column-major
+// zone store: same worker-pool orchestration, same bit-identical output
+// contract at every worker count.
+func ParallelBatchSearchColumnar(ct *colstore.Table, heightDeg float64, probes []Probe, workers int, fn func(probe int, zr ZoneRow)) error {
+	return ParallelBatchSearchColumnarStats(ct, heightDeg, probes, workers, nil, fn)
+}
+
+// ParallelBatchSearchColumnarStats is ParallelBatchSearchColumnar
+// accumulating worker-pool measurements into stats (which may be nil).
+func ParallelBatchSearchColumnarStats(ct *colstore.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(probes) == 0 {
+		return BatchSearchColumnar(ct, heightDeg, probes, fn)
+	}
+	if err := checkColumnarZone(ct); err != nil {
+		return err
+	}
+	ws, centers, r2s := buildWindows(heightDeg, probes)
+	return sweepParallel(func() zoneSweeper { return &colSweeper{t: ct} },
+		ws, centers, r2s, workers, stats, fn)
+}

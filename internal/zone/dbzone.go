@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/astro"
+	"repro/internal/colstore"
 	"repro/internal/sky"
 	"repro/internal/sqldb"
+	"repro/internal/storage"
 )
 
 // DB-backed zone machinery: the same structures as the in-memory Index, but
@@ -40,17 +42,28 @@ func ZoneTableColumns() []sqldb.Column {
 // sort run; they are pre-sorted by (zone, ra) so equal-key ties keep the
 // rowid order the trickle path would produce.
 func InstallZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64) (*sqldb.Table, error) {
-	return installZoneTable(db, tableName, gals, heightDeg, true)
+	return installZoneTable(db, tableName, gals, heightDeg, true, false)
+}
+
+// InstallZoneTableColumnar is InstallZoneTable plus the column-major
+// projection: the same (zone, ra)-sorted run that bulk-loads the row
+// B+tree also materialises colstore segment pages (one pass, no extra
+// read I/O), attached to the returned table as its columnar projection
+// (sqldb.Table.Columnar). The row store keeps serving point probes and the
+// fGetNearbyObjEqZd TVF; the batched sweeps can then iterate raw float
+// slices instead of decoding rows.
+func InstallZoneTableColumnar(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64) (*sqldb.Table, error) {
+	return installZoneTable(db, tableName, gals, heightDeg, true, true)
 }
 
 // InstallZoneTableTrickle is InstallZoneTable through per-row Insert calls:
 // the ablation baseline the bulk loader is measured against, and the anchor
 // of the bulk/trickle equivalence tests.
 func InstallZoneTableTrickle(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64) (*sqldb.Table, error) {
-	return installZoneTable(db, tableName, gals, heightDeg, false)
+	return installZoneTable(db, tableName, gals, heightDeg, false, false)
 }
 
-func installZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64, bulk bool) (*sqldb.Table, error) {
+func installZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightDeg float64, bulk, columnar bool) (*sqldb.Table, error) {
 	if heightDeg <= 0 {
 		return nil, fmt.Errorf("zone: non-positive zone height %g", heightDeg)
 	}
@@ -61,35 +74,77 @@ func installZoneTable(db *sqldb.DB, tableName string, gals []sky.Galaxy, heightD
 	}
 	sorted := append([]sky.Galaxy(nil), gals...)
 	sky.SortByZoneRa(sorted, heightDeg)
-	rows := make([][]sqldb.Value, len(sorted))
+	// Derive each row's zone id and unit vector once; both representations
+	// consume the same values, so their stored floats are bit-identical.
+	zids := make([]int64, len(sorted))
+	vecs := make([]astro.Vec3, len(sorted))
 	for i := range sorted {
 		g := &sorted[i]
-		v := astro.UnitVector(g.Ra, g.Dec)
-		rows[i] = []sqldb.Value{
-			sqldb.Int(int64(astro.ZoneID(g.Dec, heightDeg))),
-			sqldb.Int(g.ObjID),
-			sqldb.Float(g.Ra),
-			sqldb.Float(g.Dec),
-			sqldb.Float(v.X),
-			sqldb.Float(v.Y),
-			sqldb.Float(v.Z),
-			sqldb.Float(g.I),
-			sqldb.Float(g.Gr),
-			sqldb.Float(g.Ri),
-		}
+		zids[i] = int64(astro.ZoneID(g.Dec, heightDeg))
+		vecs[i] = astro.UnitVector(g.Ra, g.Dec)
+	}
+	// One scratch row streams the whole load: BulkInsertFunc (and Insert)
+	// encode the row before the next rowAt call, so nothing retains it.
+	scratch := make([]sqldb.Value, len(ZoneTableColumns()))
+	rowAt := func(i int) []sqldb.Value {
+		g := &sorted[i]
+		scratch[colZoneID] = sqldb.Int(zids[i])
+		scratch[colObjID] = sqldb.Int(g.ObjID)
+		scratch[colRa] = sqldb.Float(g.Ra)
+		scratch[colDec] = sqldb.Float(g.Dec)
+		scratch[colCx] = sqldb.Float(vecs[i].X)
+		scratch[colCy] = sqldb.Float(vecs[i].Y)
+		scratch[colCz] = sqldb.Float(vecs[i].Z)
+		scratch[colI] = sqldb.Float(g.I)
+		scratch[colGr] = sqldb.Float(g.Gr)
+		scratch[colRi] = sqldb.Float(g.Ri)
+		return scratch
 	}
 	if bulk {
-		if err := t.BulkInsert(rows); err != nil {
+		if err := t.BulkInsertFunc(len(sorted), rowAt); err != nil {
 			return nil, err
 		}
-		return t, nil
+	} else {
+		for i := range sorted {
+			if err := t.Insert(rowAt(i)); err != nil {
+				return nil, err
+			}
+		}
 	}
-	for _, row := range rows {
-		if err := t.Insert(row); err != nil {
+	if columnar {
+		ct, err := buildColumnarZone(db.Pool(), sorted, zids, vecs)
+		if err != nil {
 			return nil, err
 		}
+		t.SetColumnar(ct)
 	}
 	return t, nil
+}
+
+// buildColumnarZone materialises the column-major zone segments straight
+// from the sorted run the row load consumed, reusing its precomputed zone
+// ids and unit vectors, written as packed column arrays through the same
+// buffer pool.
+func buildColumnarZone(pool *storage.Pool, sorted []sky.Galaxy, zids []int64, vecs []astro.Vec3) (*colstore.Table, error) {
+	b, err := colstore.NewBuilder(pool, ColumnarZoneSchema(), colZoneID, colRa)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		ints   [2]int64
+		floats [8]float64
+	)
+	for i := range sorted {
+		g := &sorted[i]
+		ints[0], ints[1] = zids[i], g.ObjID
+		floats[0], floats[1] = g.Ra, g.Dec
+		floats[2], floats[3], floats[4] = vecs[i].X, vecs[i].Y, vecs[i].Z
+		floats[5], floats[6], floats[7] = g.I, g.Gr, g.Ri
+		if err := b.Add(ints[:], floats[:]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish()
 }
 
 // ZoneRow is one neighbour returned by SearchTable: identity, position,

@@ -25,7 +25,13 @@
 //     per-zone hits are buffered and re-emitted in zone order, making the
 //     output bit-identical to BatchSearch at any worker count.
 //
-// All three agree bitwise; equivalence and wraparound-RA tests pin it.
+// The batched sweeps additionally come in a column-major flavour
+// (BatchSearchColumnar / ParallelBatchSearchColumnar) over the colstore
+// zone projection InstallZoneTableColumnar attaches: the chord test
+// iterates packed float slices with no per-row decode, and per-segment
+// min/max ra bounds skip pages no window reaches.
+//
+// All paths agree bitwise; equivalence and wraparound-RA tests pin it.
 package zone
 
 import (
