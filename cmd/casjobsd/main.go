@@ -1,8 +1,12 @@
 // Command casjobsd serves the CasJobs batch-query system over HTTP:
 // shared read-only catalog contexts, per-user MyDBs, quick and long job
 // queues. It loads a skygen catalog as the "DR1" context at startup,
-// including the Zone table and the fGetNearbyObjEqZd function, so the
-// paper's sample queries work out of the box.
+// including the Zone table (with its columnar projection) and the
+// fGetNearbyObjEqZd function, so the paper's sample queries work out of
+// the box — and since the sqldb planner lowers probe-table joins against
+// fGetNearbyObjEqZd to the batched ZoneSweepJoin, a remote client's plain
+// SQL gets the same sweep the Go pipeline uses. Submit
+// "EXPLAIN SELECT ..." through the query endpoints to see the plan.
 //
 // Endpoints (JSON): see casjobs.Server.Handler.
 //

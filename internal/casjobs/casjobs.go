@@ -381,14 +381,19 @@ func (s *Server) Cancel(id int64) error {
 	return nil
 }
 
-// isSelect reports whether the script is a single read-only statement.
+// isSelect reports whether the statement returns rows without writing:
+// bare SELECTs and EXPLAIN [ANALYZE] SELECT both qualify, so remote
+// clients can inspect the planner's choices against read-only contexts.
 func isSelect(query string) bool {
 	stmt, err := sqldb.Parse(query)
 	if err != nil {
 		return false // let execution surface the parse error
 	}
-	_, ok := stmt.(*sqldb.SelectStmt)
-	return ok
+	switch stmt.(type) {
+	case *sqldb.SelectStmt, *sqldb.ExplainStmt:
+		return true
+	}
+	return false
 }
 
 // materialize stores a result set as a fresh MyDB table. Column types are

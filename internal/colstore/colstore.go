@@ -128,90 +128,118 @@ func (t *Table) GroupSegments(group int64) []SegmentMeta {
 	return t.segs[lo:hi]
 }
 
-// Scanner reads segments back one at a time, decoding every column into
-// scratch slices that are reused across Load calls — a scan loop allocates
-// once, not per segment. Each worker of a parallel sweep owns its own
-// Scanner; the underlying buffer pool is safe for concurrent use.
+// Scanner reads segments back one at a time into scratch slices that are
+// reused across Load calls — a scan loop allocates once, not per segment.
+// Columns decode lazily: Load copies the raw page once and each column's
+// array materialises on its first Ints/Floats touch, so a sweep that
+// rejects a whole segment on its leading columns (ra and the unit vector,
+// in the zone workload) never pays to decode the photometry tail. Each
+// worker of a parallel sweep owns its own Scanner; the underlying buffer
+// pool is safe for concurrent use.
 type Scanner struct {
-	t      *Table
-	rows   int
-	ints   [][]int64
-	floats [][]float64
+	t       *Table
+	rows    int
+	page    []byte // raw copy of the loaded segment page (pin released)
+	decoded []bool // per schema column: scratch slice holds this segment
+	ints    [][]int64
+	floats  [][]float64
 }
 
 // NewScanner returns a scanner over the table.
 func (t *Table) NewScanner() *Scanner {
 	return &Scanner{
-		t:      t,
-		ints:   make([][]int64, len(t.schema)),
-		floats: make([][]float64, len(t.schema)),
+		t:       t,
+		decoded: make([]bool, len(t.schema)),
+		ints:    make([][]int64, len(t.schema)),
+		floats:  make([][]float64, len(t.schema)),
 	}
 }
 
 // Load fetches one segment page through the buffer pool (counted I/O) and
-// decodes its column arrays, replacing the previously loaded segment.
+// stages it for column access, replacing the previously loaded segment.
+// No column decodes here: the page bytes are copied (so the pool pin is
+// released immediately) and each array materialises on first touch.
 func (s *Scanner) Load(m SegmentMeta) error {
 	h, err := s.t.pool.Get(m.Page)
 	if err != nil {
 		return err
 	}
-	defer h.Release(false)
 	hdr, err := storage.ReadColumnarHeader(h.Buf)
 	if err != nil {
+		h.Release(false)
 		return err
 	}
 	if hdr.Rows != m.Rows || hdr.Group != m.Group {
+		h.Release(false)
 		return fmt.Errorf("colstore: segment page %d holds group %d (%d rows), directory says group %d (%d rows)",
 			m.Page, hdr.Group, hdr.Rows, m.Group, m.Rows)
 	}
-	off := storage.ColumnarHeaderSize
-	for ci, c := range s.t.schema {
-		data := h.Buf[off : off+8*hdr.Rows]
-		switch c.Kind {
-		case Int64:
-			buf := s.ints[ci]
-			if cap(buf) < hdr.Rows {
-				buf = make([]int64, hdr.Rows)
-			}
-			buf = buf[:hdr.Rows]
-			for r := range buf {
-				buf[r] = int64(binary.LittleEndian.Uint64(data[8*r:]))
-			}
-			s.ints[ci] = buf
-		case Float64:
-			buf := s.floats[ci]
-			if cap(buf) < hdr.Rows {
-				buf = make([]float64, hdr.Rows)
-			}
-			buf = buf[:hdr.Rows]
-			for r := range buf {
-				buf[r] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*r:]))
-			}
-			s.floats[ci] = buf
-		}
-		off += 8 * hdr.Rows
+	need := storage.ColumnarHeaderSize + 8*hdr.Rows*len(s.t.schema)
+	if cap(s.page) < need {
+		s.page = make([]byte, need)
+	}
+	s.page = s.page[:need]
+	copy(s.page, h.Buf[:need])
+	h.Release(false)
+	for ci := range s.decoded {
+		s.decoded[ci] = false
 	}
 	s.rows = hdr.Rows
 	return nil
+}
+
+// colData returns the loaded segment's raw bytes for schema column ci.
+// Every column is 8 bytes wide, so the array starts at a fixed stride.
+func (s *Scanner) colData(ci int) []byte {
+	off := storage.ColumnarHeaderSize + 8*s.rows*ci
+	return s.page[off : off+8*s.rows]
 }
 
 // NumRows returns the loaded segment's row count.
 func (s *Scanner) NumRows() int { return s.rows }
 
 // Ints returns the loaded segment's values for schema column ci, which must
-// be an Int64 column. The slice is overwritten by the next Load.
+// be an Int64 column. The first touch after a Load decodes the array; the
+// slice is overwritten by the next Load.
 func (s *Scanner) Ints(ci int) []int64 {
 	if s.t.schema[ci].Kind != Int64 {
 		panic(fmt.Sprintf("colstore: column %d (%s) is not Int64", ci, s.t.schema[ci].Name))
+	}
+	if !s.decoded[ci] {
+		data := s.colData(ci)
+		buf := s.ints[ci]
+		if cap(buf) < s.rows {
+			buf = make([]int64, s.rows)
+		}
+		buf = buf[:s.rows]
+		for r := range buf {
+			buf[r] = int64(binary.LittleEndian.Uint64(data[8*r:]))
+		}
+		s.ints[ci] = buf
+		s.decoded[ci] = true
 	}
 	return s.ints[ci][:s.rows]
 }
 
 // Floats returns the loaded segment's values for schema column ci, which
-// must be a Float64 column. The slice is overwritten by the next Load.
+// must be a Float64 column. The first touch after a Load decodes the array;
+// the slice is overwritten by the next Load.
 func (s *Scanner) Floats(ci int) []float64 {
 	if s.t.schema[ci].Kind != Float64 {
 		panic(fmt.Sprintf("colstore: column %d (%s) is not Float64", ci, s.t.schema[ci].Name))
+	}
+	if !s.decoded[ci] {
+		data := s.colData(ci)
+		buf := s.floats[ci]
+		if cap(buf) < s.rows {
+			buf = make([]float64, s.rows)
+		}
+		buf = buf[:s.rows]
+		for r := range buf {
+			buf[r] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*r:]))
+		}
+		s.floats[ci] = buf
+		s.decoded[ci] = true
 	}
 	return s.floats[ci][:s.rows]
 }

@@ -125,6 +125,54 @@ func TestBuildScanRoundTrip(t *testing.T) {
 	}
 }
 
+// TestScannerLazyColumnDecode pins the first-touch decode contract: Load
+// alone decodes nothing, a touched column decodes once and round-trips,
+// untouched columns stay raw, and the next Load invalidates everything.
+func TestScannerLazyColumnDecode(t *testing.T) {
+	rows := genRows(11, 6, 2*SegmentCapacity(len(testSchema())))
+	pool := storage.NewPool(storage.NewMemStore(), 64)
+	tb := buildRows(t, pool, rows)
+	segs := tb.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("fixture built only %d segments", len(segs))
+	}
+	sc := tb.NewScanner()
+	if err := sc.Load(segs[0]); err != nil {
+		t.Fatal(err)
+	}
+	for ci, dec := range sc.decoded {
+		if dec {
+			t.Errorf("Load eagerly decoded column %d", ci)
+		}
+	}
+	ra := sc.Floats(tsSortCol)
+	if !sc.decoded[tsSortCol] {
+		t.Error("Floats did not mark the touched column decoded")
+	}
+	if sc.decoded[0] || sc.decoded[tsGroupCol] || sc.decoded[3] {
+		t.Error("touching one column decoded others")
+	}
+	if ra[0] != segs[0].MinSort || ra[len(ra)-1] != segs[0].MaxSort {
+		t.Errorf("lazily decoded sort column [%g, %g] disagrees with directory %+v", ra[0], ra[len(ra)-1], segs[0])
+	}
+	// The second touch must reuse the decoded scratch, not re-decode.
+	ra2 := sc.Floats(tsSortCol)
+	if &ra[0] != &ra2[0] {
+		t.Error("second touch re-decoded the column into a fresh slice")
+	}
+	if err := sc.Load(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	for ci, dec := range sc.decoded {
+		if dec {
+			t.Errorf("Load left column %d marked decoded for the previous segment", ci)
+		}
+	}
+	if got := sc.Ints(tsGroupCol); got[0] != segs[1].Group {
+		t.Errorf("after re-Load, group column reads %d, want %d", got[0], segs[1].Group)
+	}
+}
+
 // TestGroupSegments pins the directory lookup: every group's segments, in
 // order, and empty slices for absent groups.
 func TestGroupSegments(t *testing.T) {

@@ -57,6 +57,39 @@ func TestColumnarStoreMatchesRowStore(t *testing.T) {
 	}
 }
 
+// TestCandZoneProjectionAttached pins that the bulk StoreColumnar pipeline
+// really gives CandZone its column-major projection through the SQL DDL
+// path (so TestColumnarStoreMatchesRowStore compares the no-decode
+// candidate search against the row scan, not row against row), and that
+// the StoreRow ablation keeps the row-only table.
+func TestCandZoneProjectionAttached(t *testing.T) {
+	cat := batchEquivCatalog(t)
+	target := astro.MustBox(195.4, 196.0, 2.4, 2.8)
+	for _, tc := range []struct {
+		store ZoneStore
+		want  bool
+	}{{StoreColumnar, true}, {StoreRow, false}} {
+		db := sqldb.Open(0)
+		f, err := NewDBFinder(db, DefaultParams(), cat.Kcorr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Store = tc.store
+		if _, err := f.ImportGalaxies(cat, cat.Region); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SpZone(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.MakeCandidates(target.Expand(f.Params.BufferDeg)); err != nil {
+			t.Fatal(err)
+		}
+		if got := f.candZT.Columnar() != nil; got != tc.want {
+			t.Errorf("store=%v: CandZone projection attached = %v, want %v", tc.store, got, tc.want)
+		}
+	}
+}
+
 // TestWorkerCPUAttributed pins the worker CPU attribution satellite: a
 // multi-worker run must report task CPU that includes the sweep workers'
 // thread time, so the sweep-dominated fBCGCandidate task cannot report

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/astro"
+	"repro/internal/colstore"
 	"repro/internal/perfmodel"
 	"repro/internal/sky"
 	"repro/internal/sqldb"
@@ -268,7 +269,10 @@ func (f *DBFinder) SpZone() error {
 	if err != nil {
 		return err
 	}
-	zone.RegisterNearbyTVF(f.DB, f.zoneT, f.ZoneHeight)
+	// The TVF's batch path shares the finder's worker pool, so SQL joins
+	// against fGetNearbyObjEqZd plan into the same parallel sweep the Go
+	// entry points use.
+	zone.RegisterNearbyTVFWorkers(f.DB, f.zoneT, f.ZoneHeight, f.Workers)
 	return nil
 }
 
@@ -546,6 +550,16 @@ func (f *DBFinder) buildCandidateZones() error {
 	if err := t.BulkInsert(rows); err != nil {
 		return err
 	}
+	if f.Store == StoreColumnar {
+		// The candidate table gets its column-major projection through the
+		// SQL DDL path — the same statement a CasJobs user would run — so
+		// fIsCluster's candidate searches scan packed float arrays instead
+		// of decoding rows per probe. StoreRow keeps the row-only table as
+		// the ablation baseline.
+		if _, err := f.DB.Exec("CREATE COLUMNAR PROJECTION ON CandZone"); err != nil {
+			return err
+		}
+	}
 	f.candZT = t
 	return nil
 }
@@ -564,14 +578,46 @@ func (f *DBFinder) readKcorr() (int, error) {
 	return n, cur.Err()
 }
 
+// CandZone schema indices shared by the row and columnar candidate scans.
+const (
+	candZoneID = iota
+	candRa
+	candDec
+	candObjID
+	candZ
+	candI
+	candNGal
+	candChi2
+)
+
+// dbCandSearcher answers fIsCluster's candidate searches over the
+// (zoneid, ra)-clustered CandZone table. When the table carries its
+// column-major projection (CREATE COLUMNAR PROJECTION ON CandZone, the
+// bulk-ingest default), each window scans packed float arrays with
+// directory-driven page skipping — no per-probe row decode; otherwise it
+// range-scans the clustered B+tree. Both paths visit identical candidates
+// in identical order.
 type dbCandSearcher struct {
 	t      *sqldb.Table
 	height float64
+	ct     *colstore.Table
+	scan   *colstore.Scanner
 }
 
-// SearchCandidates implements CandidateSearcher via zone range scans over
+// newCandSearcher builds the searcher, binding the columnar projection if
+// one is attached.
+func newCandSearcher(t *sqldb.Table, height float64) *dbCandSearcher {
+	s := &dbCandSearcher{t: t, height: height}
+	if ct := t.Columnar(); ct != nil {
+		s.ct = ct
+		s.scan = ct.NewScanner()
+	}
+	return s
+}
+
+// SearchCandidates implements CandidateSearcher via zone window scans over
 // the clustered candidate table.
-func (s dbCandSearcher) SearchCandidates(raDeg, decDeg, rDeg float64, visit func(Candidate)) error {
+func (s *dbCandSearcher) SearchCandidates(raDeg, decDeg, rDeg float64, visit func(Candidate)) error {
 	if rDeg < 0 {
 		return nil
 	}
@@ -582,35 +628,81 @@ func (s dbCandSearcher) SearchCandidates(raDeg, decDeg, rDeg float64, visit func
 		x := astro.RaHalfWidth(decDeg, rDeg, z, s.height)
 		segs, ns := astro.RaWindows(raDeg, x)
 		for si := 0; si < ns; si++ {
-			cur, err := s.t.RangeScanPrefix(
-				[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(segs[si][0])},
-				[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(segs[si][1])},
-			)
+			var err error
+			if s.ct != nil {
+				err = s.searchColumnar(z, segs[si][0], segs[si][1], center, r2, visit)
+			} else {
+				err = s.searchRows(z, segs[si][0], segs[si][1], center, r2, visit)
+			}
 			if err != nil {
 				return err
 			}
-			for cur.Next() {
-				row := cur.Row()
-				ra, _ := row[1].AsFloat()
-				dec, _ := row[2].AsFloat()
-				if center.Chord2(astro.UnitVector(ra, dec)) >= r2 {
-					continue
-				}
-				var c Candidate
-				c.Ra, c.Dec = ra, dec
-				c.ObjID, _ = row[3].AsInt()
-				c.Z, _ = row[4].AsFloat()
-				c.I, _ = row[5].AsFloat()
-				ngal, _ := row[6].AsInt()
-				c.NGal = int(ngal)
-				c.Chi2, _ = row[7].AsFloat()
-				visit(c)
+		}
+	}
+	return nil
+}
+
+// searchRows is the row-store window scan: one clustered range scan, one
+// row decode per candidate in the window.
+func (s *dbCandSearcher) searchRows(z int, lo, hi float64, center astro.Vec3, r2 float64, visit func(Candidate)) error {
+	cur, err := s.t.RangeScanPrefix(
+		[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(lo)},
+		[]sqldb.Value{sqldb.Int(int64(z)), sqldb.Float(hi)},
+	)
+	if err != nil {
+		return err
+	}
+	for cur.Next() {
+		row := cur.Row()
+		ra, _ := row[candRa].AsFloat()
+		dec, _ := row[candDec].AsFloat()
+		if center.Chord2(astro.UnitVector(ra, dec)) >= r2 {
+			continue
+		}
+		var c Candidate
+		c.Ra, c.Dec = ra, dec
+		c.ObjID, _ = row[candObjID].AsInt()
+		c.Z, _ = row[candZ].AsFloat()
+		c.I, _ = row[candI].AsFloat()
+		ngal, _ := row[candNGal].AsInt()
+		c.NGal = int(ngal)
+		c.Chi2, _ = row[candChi2].AsFloat()
+		visit(c)
+	}
+	err = cur.Err()
+	cur.Close()
+	return err
+}
+
+// searchColumnar is the no-decode window scan: the zone's segment run is
+// pruned through the directory's min/max-ra bounds, the in-window rows are
+// found by binary search on the packed ra array, and only hits touch the
+// tail columns (which decode lazily per segment).
+func (s *dbCandSearcher) searchColumnar(z int, lo, hi float64, center astro.Vec3, r2 float64, visit func(Candidate)) error {
+	for _, m := range s.ct.GroupSegments(int64(z)) {
+		if m.MaxSort < lo {
+			continue
+		}
+		if m.MinSort > hi {
+			break
+		}
+		if err := s.scan.Load(m); err != nil {
+			return err
+		}
+		ra := s.scan.Floats(candRa)
+		for r := sort.SearchFloat64s(ra, lo); r < len(ra) && ra[r] <= hi; r++ {
+			dec := s.scan.Floats(candDec)[r]
+			if center.Chord2(astro.UnitVector(ra[r], dec)) >= r2 {
+				continue
 			}
-			err = cur.Err()
-			cur.Close()
-			if err != nil {
-				return err
-			}
+			var c Candidate
+			c.Ra, c.Dec = ra[r], dec
+			c.ObjID = s.scan.Ints(candObjID)[r]
+			c.Z = s.scan.Floats(candZ)[r]
+			c.I = s.scan.Floats(candI)[r]
+			c.NGal = int(s.scan.Ints(candNGal)[r])
+			c.Chi2 = s.scan.Floats(candChi2)[r]
+			visit(c)
 		}
 	}
 	return nil
@@ -626,7 +718,7 @@ func (f *DBFinder) MakeClusters(target astro.Box) (int64, error) {
 	if err := f.clusterT.Truncate(); err != nil {
 		return 0, err
 	}
-	cs := dbCandSearcher{t: f.candZT, height: f.ZoneHeight}
+	cs := newCandSearcher(f.candZT, f.ZoneHeight)
 	cur, err := f.candT.Scan()
 	if err != nil {
 		return 0, err

@@ -27,6 +27,23 @@ type CreateIndexStmt struct {
 	Clustered bool
 }
 
+// CreateProjectionStmt is CREATE COLUMNAR PROJECTION ON table: it
+// materialises a column-major snapshot of the table (internal/colstore)
+// that the planner's ColumnarScan and the batched zone sweeps read. The
+// table must be clustered on (int, float, ...) leading key columns and
+// hold only non-null numeric data; any later write detaches the snapshot.
+type CreateProjectionStmt struct {
+	Table string
+}
+
+// ExplainStmt is EXPLAIN [ANALYZE] select: it plans the query and returns
+// the physical operator tree, one line per row. ANALYZE also executes the
+// plan so each operator reports its actual row count.
+type ExplainStmt struct {
+	Analyze bool
+	Query   *SelectStmt
+}
+
 // DropTableStmt is DROP TABLE [IF EXISTS] name.
 type DropTableStmt struct {
 	Name     string
@@ -110,14 +127,16 @@ type SelectStmt struct {
 	Limit    int64 // -1: none (also set by TOP n)
 }
 
-func (*CreateTableStmt) stmt() {}
-func (*CreateIndexStmt) stmt() {}
-func (*DropTableStmt) stmt()   {}
-func (*TruncateStmt) stmt()    {}
-func (*InsertStmt) stmt()      {}
-func (*UpdateStmt) stmt()      {}
-func (*DeleteStmt) stmt()      {}
-func (*SelectStmt) stmt()      {}
+func (*CreateTableStmt) stmt()      {}
+func (*CreateIndexStmt) stmt()      {}
+func (*CreateProjectionStmt) stmt() {}
+func (*ExplainStmt) stmt()          {}
+func (*DropTableStmt) stmt()        {}
+func (*TruncateStmt) stmt()         {}
+func (*InsertStmt) stmt()           {}
+func (*UpdateStmt) stmt()           {}
+func (*DeleteStmt) stmt()           {}
+func (*SelectStmt) stmt()           {}
 
 // Expr is any SQL expression node.
 type Expr interface{ expr() }

@@ -17,6 +17,7 @@ type DB struct {
 	tables  map[string]*Table
 	scalars map[string]ScalarFunc
 	tvfs    map[string]*TVF
+	knobs   PlannerKnobs
 }
 
 // Open creates an in-memory database with the given buffer-pool size in
@@ -184,17 +185,90 @@ func (db *DB) tvf(name string) (*TVF, bool) {
 	return t, ok
 }
 
-// Query parses and executes a SELECT, returning its rows.
+// Query parses and executes a SELECT (or EXPLAIN [ANALYZE] SELECT),
+// returning its rows. EXPLAIN returns the physical plan as one text row
+// per line under a single "plan" column.
 func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return db.execSelect(s, args)
+	case *ExplainStmt:
+		return db.execExplain(s, args)
+	}
+	return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+}
+
+// QueryIter parses a SELECT and returns a streaming iterator over its
+// physical plan: rows surface one at a time instead of materialising the
+// whole result, so a scan over millions of rows holds one row's memory.
+// The caller must Close the iterator.
+func (db *DB) QueryIter(sql string, args ...Value) (*RowIter, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	sel, ok := stmt.(*SelectStmt)
 	if !ok {
-		return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
+		return nil, fmt.Errorf("sqldb: QueryIter requires a SELECT statement")
 	}
-	return db.execSelect(sel, args)
+	op, cols, err := db.planSelect(sel, args)
+	if err != nil {
+		return nil, err
+	}
+	return &RowIter{cols: cols, op: op}, nil
+}
+
+// Explain compiles a SELECT (a bare one, or an EXPLAIN [ANALYZE] wrapper)
+// and returns the physical plan as a multi-line string. With ANALYZE the
+// plan also executes so operators report actual row counts.
+func (db *DB) Explain(sql string, args ...Value) (string, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	var ex *ExplainStmt
+	switch s := stmt.(type) {
+	case *ExplainStmt:
+		ex = s
+	case *SelectStmt:
+		ex = &ExplainStmt{Query: s}
+	default:
+		return "", fmt.Errorf("sqldb: Explain requires a SELECT statement")
+	}
+	rows, err := db.execExplain(ex, args)
+	if err != nil {
+		return "", err
+	}
+	lines := make([]string, 0, rows.Len())
+	for rows.Next() {
+		lines = append(lines, rows.Row()[0].S)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// execExplain plans (and under ANALYZE, runs) the wrapped SELECT, then
+// renders the operator tree one line per row.
+func (db *DB) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
+	op, _, err := db.planSelect(s.Query, params)
+	if err != nil {
+		return nil, err
+	}
+	defer op.close()
+	if s.Analyze {
+		if err := drainDiscard(op); err != nil {
+			return nil, err
+		}
+	}
+	lines := renderPlan(op, s.Analyze)
+	data := make([][]Value, len(lines))
+	for i, l := range lines {
+		data[i] = []Value{String(l)}
+	}
+	return &Rows{Columns: []string{"plan"}, data: data}, nil
 }
 
 // Exec parses and executes any single statement, returning the number of
@@ -230,10 +304,23 @@ func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
 			return 0, err
 		}
 		return int64(rows.Len()), nil
+	case *ExplainStmt:
+		rows, err := db.execExplain(s, params)
+		if err != nil {
+			return 0, err
+		}
+		return int64(rows.Len()), nil
 	case *CreateTableStmt:
 		return 0, db.execCreateTable(s)
 	case *CreateIndexStmt:
 		return 0, db.execCreateIndex(s)
+	case *CreateProjectionStmt:
+		t, ok := db.Table(s.Table)
+		if !ok {
+			return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
+		}
+		_, err := t.BuildColumnarProjection()
+		return 0, err
 	case *DropTableStmt:
 		return 0, db.DropTable(s.Name, s.IfExists)
 	case *TruncateStmt:

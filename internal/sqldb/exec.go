@@ -2,9 +2,14 @@ package sqldb
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
+
+// SELECT execution sits on the plan layer: execSelect compiles the
+// statement with planSelect (plan.go binds, physical.go lowers) and drains
+// the operator tree. This file keeps the result types and the helpers the
+// planner shares — conjunct analysis, clustered-key bound extraction,
+// equi-join splitting, select-list expansion.
 
 // Rows is a fully materialised query result.
 type Rows struct {
@@ -31,215 +36,75 @@ func (r *Rows) Len() int { return len(r.data) }
 // All returns every row.
 func (r *Rows) All() [][]Value { return r.data }
 
-// rowIter is the Volcano iterator contract: next returns (nil, nil) at the
-// end of the stream.
-type rowIter interface {
-	next() ([]Value, error)
-	close()
-}
-
-// sliceIter replays materialised rows.
-type sliceIter struct {
-	rows [][]Value
-	i    int
-}
-
-func (s *sliceIter) next() ([]Value, error) {
-	if s.i >= len(s.rows) {
-		return nil, nil
-	}
-	r := s.rows[s.i]
-	s.i++
-	return r, nil
-}
-func (s *sliceIter) close() {}
-
-// tableScanIter streams a table cursor.
-type tableScanIter struct{ c *TableCursor }
-
-func (t *tableScanIter) next() ([]Value, error) {
-	if !t.c.Next() {
-		if err := t.c.Err(); err != nil {
-			return nil, err
-		}
-		return nil, nil
-	}
-	return append([]Value(nil), t.c.Row()...), nil
-}
-func (t *tableScanIter) close() { t.c.Close() }
-
-// filterIter drops rows whose predicate is not true.
-type filterIter struct {
-	src  rowIter
-	pred Expr
-	ev   *env
-}
-
-func (f *filterIter) next() ([]Value, error) {
-	for {
-		row, err := f.src.next()
-		if err != nil || row == nil {
-			return nil, err
-		}
-		f.ev.row = row
-		v, err := eval(f.pred, f.ev)
-		if err != nil {
-			return nil, err
-		}
-		if v.AsBool() {
-			return row, nil
-		}
-	}
-}
-func (f *filterIter) close() { f.src.close() }
-
-// nestedLoopJoin streams the left input against a materialised right side.
-// kind: joinInner (On optional), joinCross, joinLeft.
-type nestedLoopJoin struct {
-	left     rowIter
-	right    [][]Value
-	kind     joinKind
-	on       Expr
-	ev       *env // env over the combined schema
-	leftRow  []Value
-	ri       int
-	matched  bool
-	rightLen int // number of right columns for null padding
-}
-
-func (j *nestedLoopJoin) next() ([]Value, error) {
-	for {
-		if j.leftRow == nil {
-			row, err := j.left.next()
-			if err != nil || row == nil {
-				return nil, err
-			}
-			j.leftRow = row
-			j.ri = 0
-			j.matched = false
-		}
-		for j.ri < len(j.right) {
-			r := j.right[j.ri]
-			j.ri++
-			combined := append(append([]Value(nil), j.leftRow...), r...)
-			if j.on != nil {
-				j.ev.row = combined
-				v, err := eval(j.on, j.ev)
-				if err != nil {
-					return nil, err
-				}
-				if !v.AsBool() {
-					continue
-				}
-			}
-			j.matched = true
-			return combined, nil
-		}
-		if j.kind == joinLeft && !j.matched {
-			combined := append([]Value(nil), j.leftRow...)
-			for i := 0; i < j.rightLen; i++ {
-				combined = append(combined, Null())
-			}
-			j.leftRow = nil
-			return combined, nil
-		}
-		j.leftRow = nil
-	}
-}
-func (j *nestedLoopJoin) close() { j.left.close() }
-
-// hashJoin builds a hash table on the right side's equi-key and probes with
-// the left stream. Residual ON conjuncts are checked per match.
-type hashJoin struct {
-	left     rowIter
-	buckets  map[string][][]Value
-	leftKeys []Expr
-	residual Expr
-	evLeft   *env // schema = left only
-	evBoth   *env // schema = combined
-	leftRow  []Value
-	matches  [][]Value
-	mi       int
-}
-
-func (j *hashJoin) next() ([]Value, error) {
-	for {
-		for j.mi < len(j.matches) {
-			r := j.matches[j.mi]
-			j.mi++
-			combined := append(append([]Value(nil), j.leftRow...), r...)
-			if j.residual != nil {
-				j.evBoth.row = combined
-				v, err := eval(j.residual, j.evBoth)
-				if err != nil {
-					return nil, err
-				}
-				if !v.AsBool() {
-					continue
-				}
-			}
-			return combined, nil
-		}
-		row, err := j.left.next()
-		if err != nil || row == nil {
-			return nil, err
-		}
-		j.leftRow = row
-		j.evLeft.row = row
-		key, null, err := joinKey(j.leftKeys, j.evLeft)
-		if err != nil {
-			return nil, err
-		}
-		if null {
-			j.matches = nil
-			j.mi = 0
-			continue
-		}
-		j.matches = j.buckets[key]
-		j.mi = 0
-	}
-}
-func (j *hashJoin) close() { j.left.close() }
-
-// joinKey renders the equi-key; null=true when any component is NULL
-// (NULLs never join).
-func joinKey(keys []Expr, ev *env) (string, bool, error) {
-	var sb strings.Builder
-	for _, k := range keys {
-		v, err := eval(k, ev)
-		if err != nil {
-			return "", false, err
-		}
-		if v.IsNull() {
-			return "", true, nil
-		}
-		sb.WriteString(v.GroupKey())
-		sb.WriteByte(0)
-	}
-	return sb.String(), false, nil
-}
-
-// limitIter stops after n rows.
-type limitIter struct {
-	src rowIter
-	n   int64
-}
-
-func (l *limitIter) next() ([]Value, error) {
-	if l.n <= 0 {
-		return nil, nil
-	}
-	row, err := l.src.next()
-	if err != nil || row == nil {
+// execSelect runs a SELECT and materialises the result.
+func (db *DB) execSelect(stmt *SelectStmt, params []Value) (*Rows, error) {
+	op, columns, err := db.planSelect(stmt, params)
+	if err != nil {
 		return nil, err
 	}
-	l.n--
-	return row, nil
+	defer op.close()
+	// The plan's root is always a Project or Aggregate (possibly wrapped
+	// in Sort/Distinct/Limit), so rows arrive caller-owned: no copy here.
+	data, err := drainOwned(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Columns: columns, data: data}, nil
 }
-func (l *limitIter) close() { l.src.close() }
+
+// RowIter streams a SELECT's output row by row from the physical plan,
+// never buffering the whole result set: the cursor-friendly twin of Rows
+// for scans over millions of rows. Operators that are inherently blocking
+// (Sort, Aggregate, the build side of a join) still materialise their own
+// inputs; a scan-filter-project pipeline streams end to end.
+//
+// The iterator must be Closed (closing releases the plan's cursors); Row's
+// slice is owned by the caller until the following Next.
+type RowIter struct {
+	cols   []string
+	op     physOp
+	row    []Value
+	err    error
+	closed bool
+}
+
+// Columns returns the output column names.
+func (it *RowIter) Columns() []string { return it.cols }
+
+// Next advances to the following row, returning false at the end of the
+// stream or on error (check Err).
+func (it *RowIter) Next() bool {
+	if it.closed || it.err != nil {
+		return false
+	}
+	row, err := it.op.next()
+	if err != nil {
+		it.err = err
+		return false
+	}
+	if row == nil {
+		return false
+	}
+	it.row = row
+	return true
+}
+
+// Row returns the current row after a successful Next.
+func (it *RowIter) Row() []Value { return it.row }
+
+// Err returns the first error encountered by Next.
+func (it *RowIter) Err() error { return it.err }
+
+// Close releases the plan's resources. Safe to call more than once.
+func (it *RowIter) Close() {
+	if !it.closed {
+		it.closed = true
+		it.op.close()
+	}
+}
 
 // ---------------------------------------------------------------------------
-// FROM-clause planning
+// Predicate analysis shared by logical planning
 
 // conjuncts flattens an AND tree.
 func conjuncts(e Expr) []Expr {
@@ -348,131 +213,6 @@ func rangeBounds(where Expr, alias string, t *Table, params []Value, singleTable
 	return lo, hi
 }
 
-// buildFrom constructs the source iterator and its schema for a FROM clause.
-func (db *DB) buildFrom(stmt *SelectStmt, params []Value) (rowIter, schema, error) {
-	if len(stmt.From) == 0 {
-		// SELECT without FROM evaluates over one empty row.
-		return &sliceIter{rows: [][]Value{{}}}, schema{}, nil
-	}
-	var iter rowIter
-	var sch schema
-	single := len(stmt.From) == 1
-	for i, item := range stmt.From {
-		rIter, rSchema, err := db.buildFromItem(item, stmt.Where, params, single)
-		if err != nil {
-			if iter != nil {
-				iter.close()
-			}
-			return nil, nil, err
-		}
-		if i == 0 {
-			iter, sch = rIter, rSchema
-			continue
-		}
-		// Materialise the right side.
-		rightRows, err := drain(rIter)
-		if err != nil {
-			iter.close()
-			return nil, nil, err
-		}
-		combined := append(append(schema{}, sch...), rSchema...)
-		switch item.Join {
-		case joinCross:
-			iter = &nestedLoopJoin{
-				left: iter, right: rightRows, kind: joinCross,
-				ev: &env{schema: combined, params: params, db: db}, rightLen: len(rSchema),
-			}
-		case joinLeft:
-			iter = &nestedLoopJoin{
-				left: iter, right: rightRows, kind: joinLeft, on: item.On,
-				ev: &env{schema: combined, params: params, db: db}, rightLen: len(rSchema),
-			}
-		default: // inner
-			leftKeys, rightKeys, residual := splitEquiJoin(item.On, sch, rSchema)
-			if len(leftKeys) > 0 {
-				buckets := make(map[string][][]Value, len(rightRows))
-				evRight := &env{schema: rSchema, params: params, db: db}
-				for _, r := range rightRows {
-					evRight.row = r
-					key, null, err := joinKey(rightKeys, evRight)
-					if err != nil {
-						iter.close()
-						return nil, nil, err
-					}
-					if null {
-						continue
-					}
-					buckets[key] = append(buckets[key], r)
-				}
-				iter = &hashJoin{
-					left: iter, buckets: buckets, leftKeys: leftKeys, residual: residual,
-					evLeft: &env{schema: sch, params: params, db: db},
-					evBoth: &env{schema: combined, params: params, db: db},
-				}
-			} else {
-				iter = &nestedLoopJoin{
-					left: iter, right: rightRows, kind: joinInner, on: item.On,
-					ev: &env{schema: combined, params: params, db: db}, rightLen: len(rSchema),
-				}
-			}
-		}
-		sch = combined
-	}
-	return iter, sch, nil
-}
-
-// buildFromItem produces the iterator for a single table or TVF reference.
-func (db *DB) buildFromItem(item FromItem, where Expr, params []Value, single bool) (rowIter, schema, error) {
-	alias := strings.ToLower(item.Alias)
-	if alias == "" {
-		alias = strings.ToLower(item.Table)
-	}
-	if item.IsTVF {
-		tvf, ok := db.tvf(item.Table)
-		if !ok {
-			return nil, nil, fmt.Errorf("sqldb: unknown table-valued function %s", item.Table)
-		}
-		ev := &env{params: params, db: db}
-		args := make([]Value, len(item.Args))
-		for i, a := range item.Args {
-			v, err := eval(a, ev)
-			if err != nil {
-				return nil, nil, err
-			}
-			args[i] = v
-		}
-		rows, err := tvf.Fn(args)
-		if err != nil {
-			return nil, nil, err
-		}
-		sch := make(schema, len(tvf.Cols))
-		for i, c := range tvf.Cols {
-			sch[i] = colMeta{alias: alias, name: c.Name}
-		}
-		return &sliceIter{rows: rows}, sch, nil
-	}
-	t, ok := db.Table(item.Table)
-	if !ok {
-		return nil, nil, fmt.Errorf("sqldb: unknown table %s", item.Table)
-	}
-	sch := make(schema, len(t.Cols))
-	for i, c := range t.Cols {
-		sch[i] = colMeta{alias: alias, name: c.Name}
-	}
-	lo, hi := rangeBounds(where, alias, t, params, single)
-	var cur *TableCursor
-	var err error
-	if lo.IsNull() && hi.IsNull() {
-		cur, err = t.Scan()
-	} else {
-		cur, err = t.RangeScan(lo, hi)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return &tableScanIter{c: cur}, sch, nil
-}
-
 // splitEquiJoin partitions an inner-join ON condition into hash keys and a
 // residual predicate. Returns empty keys when no usable equality exists.
 func splitEquiJoin(on Expr, left, right schema) (leftKeys, rightKeys []Expr, residual Expr) {
@@ -540,23 +280,26 @@ func andAll(es []Expr) Expr {
 	return out
 }
 
-func drain(it rowIter) ([][]Value, error) {
-	defer it.close()
-	var rows [][]Value
-	for {
-		r, err := it.next()
+// joinKey renders the equi-key; null=true when any component is NULL
+// (NULLs never join).
+func joinKey(keys []Expr, ev *env) (string, bool, error) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v, err := eval(k, ev)
 		if err != nil {
-			return nil, err
+			return "", false, err
 		}
-		if r == nil {
-			return rows, nil
+		if v.IsNull() {
+			return "", true, nil
 		}
-		rows = append(rows, r)
+		sb.WriteString(v.GroupKey())
+		sb.WriteByte(0)
 	}
+	return sb.String(), false, nil
 }
 
 // ---------------------------------------------------------------------------
-// SELECT execution
+// Select-list helpers
 
 type projItem struct {
 	expr Expr
@@ -597,113 +340,6 @@ func expandItems(items []SelectItem, sch schema) ([]projItem, error) {
 	return out, nil
 }
 
-// execSelect runs a SELECT and materialises the result.
-func (db *DB) execSelect(stmt *SelectStmt, params []Value) (*Rows, error) {
-	src, sch, err := db.buildFrom(stmt, params)
-	if err != nil {
-		return nil, err
-	}
-	if stmt.Where != nil {
-		src = &filterIter{src: src, pred: stmt.Where, ev: &env{schema: sch, params: params, db: db}}
-	}
-
-	items, err := expandItems(stmt.Items, sch)
-	if err != nil {
-		src.close()
-		return nil, err
-	}
-
-	// Static validation: unknown or ambiguous column references fail even
-	// when the input is empty.
-	var toCheck []Expr
-	for _, it := range items {
-		toCheck = append(toCheck, it.expr)
-	}
-	toCheck = append(toCheck, stmt.Where, stmt.Having)
-	toCheck = append(toCheck, stmt.GroupBy...)
-	if err := validateColumns(sch, toCheck); err != nil {
-		src.close()
-		return nil, err
-	}
-
-	aggregated := len(stmt.GroupBy) > 0 || stmt.Having != nil
-	for _, it := range items {
-		if hasAggregate(it.expr) {
-			aggregated = true
-		}
-	}
-	for _, o := range stmt.OrderBy {
-		if hasAggregate(o.Expr) {
-			aggregated = true
-		}
-	}
-
-	var result [][]Value
-	var orderKeys [][]Value
-	columns := make([]string, len(items))
-	for i, it := range items {
-		columns[i] = it.name
-	}
-
-	if aggregated {
-		result, orderKeys, err = db.execAggregate(stmt, items, src, sch, params)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		defer src.close()
-		ev := &env{schema: sch, params: params, db: db}
-		// ORDER BY items referencing projection aliases sort on the
-		// projected value; anything else evaluates in the source env.
-		aliasIdx := orderAliasIndexes(stmt.OrderBy, items)
-		for {
-			row, err := src.next()
-			if err != nil {
-				return nil, err
-			}
-			if row == nil {
-				break
-			}
-			ev.row = row
-			out := make([]Value, len(items))
-			for i, it := range items {
-				v, err := eval(it.expr, ev)
-				if err != nil {
-					return nil, err
-				}
-				out[i] = v
-			}
-			if len(stmt.OrderBy) > 0 {
-				keys := make([]Value, len(stmt.OrderBy))
-				for i, o := range stmt.OrderBy {
-					if ai := aliasIdx[i]; ai >= 0 {
-						keys[i] = out[ai]
-						continue
-					}
-					v, err := eval(o.Expr, ev)
-					if err != nil {
-						return nil, err
-					}
-					keys[i] = v
-				}
-				orderKeys = append(orderKeys, keys)
-			}
-			result = append(result, out)
-		}
-	}
-
-	if len(stmt.OrderBy) > 0 {
-		result = sortRows(result, orderKeys, stmt.OrderBy)
-	}
-	if stmt.Distinct {
-		result = distinctRows(result)
-	}
-	if stmt.Limit >= 0 && int64(len(result)) > stmt.Limit {
-		result = result[:stmt.Limit]
-	}
-	return &Rows{Columns: columns, data: result}, nil
-}
-
 // orderAliasIndexes maps each ORDER BY item to a projection index when it is
 // a bare reference to a projection alias (or ordinal), else -1.
 func orderAliasIndexes(order []OrderItem, items []projItem) []int {
@@ -727,126 +363,6 @@ func orderAliasIndexes(order []OrderItem, items []projItem) []int {
 	return out
 }
 
-// execAggregate evaluates grouped aggregation, returning result rows and
-// their order keys.
-func (db *DB) execAggregate(stmt *SelectStmt, items []projItem, src rowIter, sch schema, params []Value) ([][]Value, [][]Value, error) {
-	defer src.close()
-
-	// Rewrite aggregate calls into aggRef slots shared across the select
-	// list, HAVING, and ORDER BY.
-	var calls []*Call
-	rewritten := make([]Expr, len(items))
-	for i, it := range items {
-		rewritten[i] = rewriteAggs(it.expr, &calls)
-	}
-	having := rewriteAggs(stmt.Having, &calls)
-	orderExprs := make([]Expr, len(stmt.OrderBy))
-	for i, o := range stmt.OrderBy {
-		orderExprs[i] = rewriteAggs(o.Expr, &calls)
-	}
-
-	type group struct {
-		firstRow []Value
-		keyVals  []Value
-		aggs     []*aggState
-	}
-	groups := make(map[string]*group)
-	var orderOfGroups []string
-
-	ev := &env{schema: sch, params: params, db: db}
-	for {
-		row, err := src.next()
-		if err != nil {
-			return nil, nil, err
-		}
-		if row == nil {
-			break
-		}
-		ev.row = row
-		var sb strings.Builder
-		keyVals := make([]Value, len(stmt.GroupBy))
-		for i, g := range stmt.GroupBy {
-			v, err := eval(g, ev)
-			if err != nil {
-				return nil, nil, err
-			}
-			keyVals[i] = v
-			sb.WriteString(v.GroupKey())
-			sb.WriteByte(0)
-		}
-		key := sb.String()
-		grp, ok := groups[key]
-		if !ok {
-			grp = &group{firstRow: append([]Value(nil), row...), keyVals: keyVals}
-			for _, c := range calls {
-				grp.aggs = append(grp.aggs, newAggState(c))
-			}
-			groups[key] = grp
-			orderOfGroups = append(orderOfGroups, key)
-		}
-		for _, a := range grp.aggs {
-			if err := a.add(ev); err != nil {
-				return nil, nil, err
-			}
-		}
-	}
-
-	// A grand aggregate over zero rows still yields one group.
-	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
-		grp := &group{firstRow: make([]Value, len(sch))}
-		for i := range grp.firstRow {
-			grp.firstRow[i] = Null()
-		}
-		for _, c := range calls {
-			grp.aggs = append(grp.aggs, newAggState(c))
-		}
-		groups[""] = grp
-		orderOfGroups = append(orderOfGroups, "")
-	}
-
-	var result [][]Value
-	var orderKeys [][]Value
-	gev := &env{schema: sch, params: params, db: db}
-	for _, key := range orderOfGroups {
-		grp := groups[key]
-		gev.row = grp.firstRow
-		gev.aggs = make([]Value, len(grp.aggs))
-		for i, a := range grp.aggs {
-			gev.aggs[i] = a.result()
-		}
-		if having != nil {
-			v, err := eval(having, gev)
-			if err != nil {
-				return nil, nil, err
-			}
-			if !v.AsBool() {
-				continue
-			}
-		}
-		out := make([]Value, len(rewritten))
-		for i, e := range rewritten {
-			v, err := eval(e, gev)
-			if err != nil {
-				return nil, nil, err
-			}
-			out[i] = v
-		}
-		if len(orderExprs) > 0 {
-			keys := make([]Value, len(orderExprs))
-			for i, e := range orderExprs {
-				v, err := eval(e, gev)
-				if err != nil {
-					return nil, nil, err
-				}
-				keys[i] = v
-			}
-			orderKeys = append(orderKeys, keys)
-		}
-		result = append(result, out)
-	}
-	return result, orderKeys, nil
-}
-
 // validateColumns resolves every column reference in the expressions
 // against the source schema, reporting the first unknown or ambiguous one.
 func validateColumns(sch schema, exprs []Expr) error {
@@ -864,50 +380,4 @@ func validateColumns(sch schema, exprs []Expr) error {
 		})
 	}
 	return firstErr
-}
-
-// sortRows orders result rows by their precomputed keys (stable).
-func sortRows(rows [][]Value, keys [][]Value, order []OrderItem) [][]Value {
-	idx := make([]int, len(rows))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ka, kb := keys[idx[a]], keys[idx[b]]
-		for i, o := range order {
-			c := CompareForSort(ka[i], kb[i])
-			if c == 0 {
-				continue
-			}
-			if o.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	out := make([][]Value, len(rows))
-	for i, j := range idx {
-		out[i] = rows[j]
-	}
-	return out
-}
-
-// distinctRows removes duplicate projected rows, keeping first occurrences.
-func distinctRows(rows [][]Value) [][]Value {
-	seen := make(map[string]bool, len(rows))
-	out := rows[:0]
-	for _, r := range rows {
-		var sb strings.Builder
-		for _, v := range r {
-			sb.WriteString(v.GroupKey())
-			sb.WriteByte(0)
-		}
-		k := sb.String()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
-	}
-	return out
 }

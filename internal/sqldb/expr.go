@@ -47,6 +47,16 @@ type aggRef struct{ Idx int }
 
 func (*aggRef) expr() {}
 
+// boundCol replaces a ColumnRef during physical planning: the reference is
+// resolved to its schema slot once, so per-row evaluation is an index, not
+// a name lookup. Table/Name are kept for display.
+type boundCol struct {
+	Idx         int
+	Table, Name string
+}
+
+func (*boundCol) expr() {}
+
 // env is the evaluation context for one row.
 type env struct {
 	schema schema
@@ -72,6 +82,8 @@ func eval(e Expr, ev *env) (Value, error) {
 			return Value{}, err
 		}
 		return ev.row[i], nil
+	case *boundCol:
+		return ev.row[x.Idx], nil
 	case *aggRef:
 		return ev.aggs[x.Idx], nil
 	case *Unary:

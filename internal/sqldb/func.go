@@ -13,9 +13,29 @@ type ScalarFunc func(args []Value) (Value, error)
 // TVF is a registered table-valued function, the engine's equivalent of
 // the paper's fGetNearbyObjEqZd: called with scalar arguments, it returns
 // a rowset with a fixed schema.
+//
+// A TVF whose arguments reference columns of earlier FROM items is a
+// lateral call: the Volcano plan invokes Fn once per outer row. When Batch
+// is set, the physical planner instead lowers the whole join to a
+// ZoneSweepJoin operator that hands every outer row's argument vector to
+// Batch in one call — the plan-level twin of zone.BatchSearch, so paper SQL
+// gets the batched sweep without Go code.
 type TVF struct {
 	Cols []Column
 	Fn   func(args []Value) ([][]Value, error)
+
+	// Batch answers many invocations in one pass: probes[i] holds the i-th
+	// call's argument vector, and each result row arrives via
+	// emit(probe, row). The row slice is only valid during the emit call
+	// (the consumer copies); per probe, rows must arrive in exactly the
+	// order Fn would return them, so the batched and per-row plans are
+	// bit-identical. Optional; nil keeps the per-row lateral plan.
+	Batch func(probes [][]Value, emit func(probe int, row []Value)) error
+
+	// Source optionally names the table the TVF reads, letting EXPLAIN
+	// show the physical access path (ColumnarScan when a column-major
+	// projection is attached, IndexScan otherwise) under a ZoneSweepJoin.
+	Source *Table
 }
 
 // evalCall dispatches a (non-aggregate) function call: builtins first, then

@@ -77,6 +77,18 @@ func (p *parser) expectKw(kw string) error {
 	return nil
 }
 
+// acceptIdentKw consumes the next token when it is the given contextual
+// keyword. Such words lex as plain identifiers (see the lexer's keyword
+// note), so they stay usable as table and column names everywhere the
+// grammar does not specifically expect them.
+func (p *parser) acceptIdentKw(word string) bool {
+	if t := p.peek(); t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
 func (p *parser) acceptSym(s string) bool {
 	if t := p.peek(); t.kind == tokSymbol && t.text == s {
 		p.i++
@@ -109,6 +121,9 @@ func (p *parser) ident() (string, error) {
 
 func (p *parser) statement() (Statement, error) {
 	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, "EXPLAIN") {
+		return p.explainStmt()
+	}
 	if t.kind != tokKeyword {
 		return nil, p.errf("expected a statement keyword")
 	}
@@ -131,6 +146,20 @@ func (p *parser) statement() (Statement, error) {
 	return nil, p.errf("unsupported statement %s", t.text)
 }
 
+func (p *parser) explainStmt() (Statement, error) {
+	p.next() // EXPLAIN
+	stmt := &ExplainStmt{}
+	if p.acceptIdentKw("ANALYZE") {
+		stmt.Analyze = true
+	}
+	q, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Query = q
+	return stmt, nil
+}
+
 func (p *parser) createStmt() (Statement, error) {
 	p.next() // CREATE
 	switch {
@@ -143,8 +172,20 @@ func (p *parser) createStmt() (Statement, error) {
 		return p.createIndex(true)
 	case p.acceptKw("INDEX"):
 		return p.createIndex(false)
+	case p.acceptIdentKw("COLUMNAR"):
+		if !p.acceptIdentKw("PROJECTION") {
+			return nil, p.errf("expected PROJECTION")
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		name, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		return &CreateProjectionStmt{Table: name}, nil
 	}
-	return nil, p.errf("expected TABLE or [CLUSTERED] INDEX after CREATE")
+	return nil, p.errf("expected TABLE, [CLUSTERED] INDEX or COLUMNAR PROJECTION after CREATE")
 }
 
 func (p *parser) createTable() (Statement, error) {

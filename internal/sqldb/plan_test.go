@@ -1,0 +1,319 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// planFixture builds a small (zoneid, ra)-clustered table with four zones
+// of three rows each — four colstore segments once the projection is
+// attached — plus an unclustered side table for join plans.
+func planFixture(t *testing.T) *DB {
+	t.Helper()
+	db := Open(256)
+	mustExec(t, db, "CREATE TABLE Zone (zoneid bigint, ra float, dec float, val float)")
+	mustExec(t, db, "CREATE CLUSTERED INDEX zc ON Zone (zoneid, ra)")
+	for z := 0; z < 4; z++ {
+		for i := 0; i < 3; i++ {
+			mustExec(t, db, "INSERT INTO Zone VALUES (?, ?, ?, ?)",
+				Int(int64(z)), Float(float64(10*z+i)), Float(float64(i)), Float(float64(z)+0.5))
+		}
+	}
+	mustExec(t, db, "CREATE TABLE Obj (objid bigint PRIMARY KEY, name varchar(10))")
+	mustExec(t, db, "INSERT INTO Obj VALUES (1, 'a'), (2, 'b')")
+	return db
+}
+
+func mustExplain(t *testing.T, db *DB, sql string, args ...Value) string {
+	t.Helper()
+	plan, err := db.Explain(sql, args...)
+	if err != nil {
+		t.Fatalf("Explain(%q): %v", sql, err)
+	}
+	return plan
+}
+
+// TestExplainGoldenPlans pins the physical trees the planner emits for the
+// engine's load-bearing shapes, before and after a columnar projection
+// exists. These are golden strings on purpose: a plan change must show up
+// in review.
+func TestExplainGoldenPlans(t *testing.T) {
+	db := planFixture(t)
+
+	// Row-store plans first.
+	if got, want := mustExplain(t, db, "SELECT zoneid, ra FROM Zone"),
+		"Project zoneid, ra  [est 12 rows]\n"+
+			"└─ SeqScan Zone  [est 12 rows]"; got != want {
+		t.Errorf("seq scan plan:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := mustExplain(t, db, "SELECT ra FROM Zone WHERE zoneid = 2"),
+		"Project ra\n"+
+			"└─ Filter zoneid = 2\n"+
+			"   └─ RangeScan Zone (zoneid = 2)"; got != want {
+		t.Errorf("range scan plan:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := mustExplain(t, db,
+		"SELECT o.name, z.ra FROM Zone z JOIN Obj o ON o.objid = z.zoneid WHERE z.ra > 10 ORDER BY z.ra DESC"),
+		"Sort z.ra DESC\n"+
+			"└─ Project name, ra\n"+
+			"   └─ Filter z.ra > 10\n"+
+			"      └─ HashJoin on o.objid = z.zoneid\n"+
+			"         ├─ SeqScan Zone AS z  [est 12 rows]\n"+
+			"         └─ SeqScan Obj AS o  [est 2 rows]"; got != want {
+		t.Errorf("hash join plan:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Attach the projection through the SQL DDL path: scans and aggregates
+	// switch to ColumnarScan, with directory pruning on the leading key and
+	// column pruning from the statement's referenced set.
+	mustExec(t, db, "CREATE COLUMNAR PROJECTION ON Zone")
+	if got, want := mustExplain(t, db, "SELECT * FROM Zone"),
+		"Project zoneid, ra, dec, val  [est 12 rows]\n"+
+			"└─ ColumnarScan Zone [4 segments]  [est 12 rows]"; got != want {
+		t.Errorf("columnar scan plan:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := mustExplain(t, db, "SELECT SUM(val) FROM Zone WHERE zoneid = 2"),
+		"Aggregate SUM(val)\n"+
+			"└─ Filter zoneid = 2\n"+
+			"   └─ ColumnarScan Zone [1 segments, 2/4 cols]  [est 3 rows]"; got != want {
+		t.Errorf("columnar aggregate plan:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := mustExplain(t, db, "SELECT DISTINCT zoneid FROM Zone ORDER BY zoneid LIMIT 2"),
+		"Limit 2  [est 2 rows]\n"+
+			"└─ Distinct\n"+
+			"   └─ Sort zoneid  [est 12 rows]\n"+
+			"      └─ Project zoneid  [est 12 rows]\n"+
+			"         └─ ColumnarScan Zone [4 segments, 1/4 cols]  [est 12 rows]"; got != want {
+		t.Errorf("limit/distinct/sort plan:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The knob restores the row plan without touching the projection.
+	db.SetPlannerKnobs(PlannerKnobs{NoColumnarScan: true})
+	if got := mustExplain(t, db, "SELECT * FROM Zone"); !strings.Contains(got, "SeqScan Zone") {
+		t.Errorf("NoColumnarScan knob ignored:\n%s", got)
+	}
+	db.SetPlannerKnobs(PlannerKnobs{})
+
+	// EXPLAIN ANALYZE executes and reports actuals.
+	analyzed := mustExplain(t, db, "EXPLAIN ANALYZE SELECT ra FROM Zone WHERE zoneid = 2")
+	if !strings.Contains(analyzed, "Filter zoneid = 2  [actual 3 rows]") ||
+		!strings.Contains(analyzed, "ColumnarScan Zone [1 segments, 2/4 cols]  [est 3, actual 3 rows]") {
+		t.Errorf("EXPLAIN ANALYZE missing actual counts:\n%s", analyzed)
+	}
+	// Plain EXPLAIN must not execute: a query via the Exec path returns
+	// the plan's line count, and the plan shows estimates only.
+	plain := mustQuery(t, db, "EXPLAIN SELECT ra FROM Zone WHERE zoneid = 2")
+	if plain.Len() < 3 || strings.Contains(plain.data[0][0].S, "actual") {
+		t.Errorf("plain EXPLAIN looks wrong: %v", plain.All())
+	}
+}
+
+// TestColumnarProjectionSQLEquivalence pins that the ColumnarScan plan is
+// an invisible swap: every query shape returns bit-identical rows with the
+// projection attached, with it disabled by knob, and on the row store
+// before it existed — and any write detaches it.
+func TestColumnarProjectionSQLEquivalence(t *testing.T) {
+	db := planFixture(t)
+	queries := []string{
+		"SELECT * FROM Zone",
+		"SELECT ra, val FROM Zone WHERE zoneid BETWEEN 1 AND 2",
+		"SELECT zoneid, COUNT(*), SUM(val) FROM Zone GROUP BY zoneid ORDER BY zoneid",
+		"SELECT ra FROM Zone WHERE val > 1.0 ORDER BY ra DESC",
+		"SELECT z.ra, o.name FROM Zone z JOIN Obj o ON o.objid = z.zoneid",
+	}
+	before := make([]*Rows, len(queries))
+	for i, q := range queries {
+		before[i] = mustQuery(t, db, q)
+	}
+	mustExec(t, db, "CREATE COLUMNAR PROJECTION ON Zone")
+	zt, _ := db.Table("Zone")
+	if zt.Columnar() == nil {
+		t.Fatal("CREATE COLUMNAR PROJECTION attached nothing")
+	}
+	for i, q := range queries {
+		after := mustQuery(t, db, q)
+		compareRows(t, q, after, before[i])
+		db.SetPlannerKnobs(PlannerKnobs{NoColumnarScan: true})
+		rowPlan := mustQuery(t, db, q)
+		db.SetPlannerKnobs(PlannerKnobs{})
+		compareRows(t, q+" (knob)", rowPlan, before[i])
+	}
+
+	// Any write detaches the snapshot and the planner falls back.
+	mustExec(t, db, "INSERT INTO Zone VALUES (9, 99.0, 0.0, 9.5)")
+	if zt.Columnar() != nil {
+		t.Fatal("write left a stale projection attached")
+	}
+	if plan := mustExplain(t, db, "SELECT * FROM Zone"); strings.Contains(plan, "ColumnarScan") {
+		t.Errorf("detached projection still planned:\n%s", plan)
+	}
+	cnt := mustQuery(t, db, "SELECT COUNT(*) FROM Zone")
+	cnt.Next()
+	if cnt.Row()[0].I != 13 {
+		t.Errorf("post-detach count = %d, want 13", cnt.Row()[0].I)
+	}
+}
+
+func compareRows(t *testing.T, label string, got, want *Rows) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), want.Len())
+	}
+	for i, g := range got.All() {
+		w := want.All()[i]
+		for c := range g {
+			if g[c] != w[c] {
+				t.Fatalf("%s row %d col %d: %#v, want %#v", label, i, c, g[c], w[c])
+			}
+		}
+	}
+}
+
+// TestCreateColumnarProjectionErrors pins the DDL's shape requirements.
+func TestCreateColumnarProjectionErrors(t *testing.T) {
+	db := Open(64)
+	mustExec(t, db, "CREATE TABLE s (k bigint PRIMARY KEY, name varchar(10))")
+	if _, err := db.Exec("CREATE COLUMNAR PROJECTION ON s"); err == nil {
+		t.Error("single-column key accepted")
+	}
+	mustExec(t, db, "CREATE TABLE txt (z bigint, ra float, name varchar(10))")
+	mustExec(t, db, "CREATE CLUSTERED INDEX ti ON txt (z, ra)")
+	if _, err := db.Exec("CREATE COLUMNAR PROJECTION ON txt"); err == nil ||
+		!strings.Contains(err.Error(), "non-numeric") {
+		t.Errorf("string column accepted (err = %v)", err)
+	}
+	mustExec(t, db, "CREATE TABLE flip (ra float, z bigint)")
+	mustExec(t, db, "CREATE CLUSTERED INDEX fi ON flip (ra, z)")
+	if _, err := db.Exec("CREATE COLUMNAR PROJECTION ON flip"); err == nil {
+		t.Error("float group column accepted")
+	}
+	mustExec(t, db, "CREATE TABLE nn (z bigint, ra float, v float)")
+	mustExec(t, db, "CREATE CLUSTERED INDEX ni ON nn (z, ra)")
+	mustExec(t, db, "INSERT INTO nn (z, ra) VALUES (1, 2.0)")
+	if _, err := db.Exec("CREATE COLUMNAR PROJECTION ON nn"); err == nil ||
+		!strings.Contains(err.Error(), "NULL") {
+		t.Errorf("NULL value accepted (err = %v)", err)
+	}
+	if _, err := db.Exec("CREATE COLUMNAR PROJECTION ON nosuch"); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+// TestQueryIterStreams pins the streaming result API: same rows as Query
+// for streaming and blocking pipelines, early Close releases the plan, and
+// a large scan arrives row by row.
+func TestQueryIterStreams(t *testing.T) {
+	db := Open(256)
+	mustExec(t, db, "CREATE TABLE t (k bigint PRIMARY KEY, v float)")
+	var ins strings.Builder
+	ins.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, %g)", i, float64(i)*0.5)
+	}
+	mustExec(t, db, ins.String())
+
+	for _, q := range []string{
+		"SELECT k, v FROM t WHERE v > 100.0",
+		"SELECT k FROM t ORDER BY v DESC LIMIT 10",
+		"SELECT COUNT(*), SUM(v) FROM t",
+	} {
+		want := mustQuery(t, db, q)
+		it, err := db.QueryIter(q)
+		if err != nil {
+			t.Fatalf("QueryIter(%q): %v", q, err)
+		}
+		if strings.Join(it.Columns(), ",") != strings.Join(want.Columns, ",") {
+			t.Fatalf("%s: columns %v, want %v", q, it.Columns(), want.Columns)
+		}
+		i := 0
+		for it.Next() {
+			w := want.All()[i]
+			for c := range w {
+				if it.Row()[c] != w[c] {
+					t.Fatalf("%s row %d: %v, want %v", q, i, it.Row(), w)
+				}
+			}
+			i++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if i != want.Len() {
+			t.Fatalf("%s: streamed %d rows, want %d", q, i, want.Len())
+		}
+		it.Close()
+	}
+
+	// Early close after a prefix: no panic, no further rows.
+	it, err := db.QueryIter("SELECT k FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && it.Next(); i++ {
+	}
+	it.Close()
+	if it.Next() {
+		t.Error("Next returned a row after Close")
+	}
+	it.Close() // double close is safe
+}
+
+// TestContextualKeywordsStayIdentifiers pins that EXPLAIN, ANALYZE,
+// COLUMNAR, and PROJECTION are contextual, not reserved: a catalog whose
+// tables or columns use those words (plausible in astronomy schemas)
+// must stay fully queryable, while the new statements still parse.
+func TestContextualKeywordsStayIdentifiers(t *testing.T) {
+	db := Open(64)
+	mustExec(t, db, "CREATE TABLE t (id bigint PRIMARY KEY, projection float, columnar float, analyze float, explain float)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 2.0, 3.0, 4.0, 5.0)")
+	rows := mustQuery(t, db, "SELECT projection, columnar, analyze, explain FROM t WHERE projection > 1.0 ORDER BY columnar")
+	if rows.Len() != 1 || rows.All()[0][0].F != 2.0 || rows.All()[0][3].F != 5.0 {
+		t.Fatalf("contextual-keyword columns misread: %v", rows.All())
+	}
+	mustExec(t, db, "CREATE TABLE explain (analyze bigint PRIMARY KEY)")
+	mustExec(t, db, "INSERT INTO explain VALUES (7)")
+	r2 := mustQuery(t, db, "SELECT analyze FROM explain")
+	if r2.Len() != 1 || r2.All()[0][0].I != 7 {
+		t.Fatalf("table named explain misread: %v", r2.All())
+	}
+	// The contextual forms themselves still work.
+	if plan := mustExplain(t, db, "EXPLAIN SELECT projection FROM t"); !strings.Contains(plan, "SeqScan t") {
+		t.Fatalf("EXPLAIN broke: %s", plan)
+	}
+	if plan := mustExplain(t, db, "EXPLAIN ANALYZE SELECT id FROM t"); !strings.Contains(plan, "actual 1 rows") {
+		t.Fatalf("EXPLAIN ANALYZE broke: %s", plan)
+	}
+}
+
+// TestExplainThroughQueryAndExec pins the statement surface: EXPLAIN works
+// through Query (one "plan" column) and Exec (row count), and Explain
+// accepts both bare SELECTs and EXPLAIN wrappers.
+func TestExplainThroughQueryAndExec(t *testing.T) {
+	db := planFixture(t)
+	rows := mustQuery(t, db, "EXPLAIN SELECT zoneid FROM Zone")
+	if len(rows.Columns) != 1 || rows.Columns[0] != "plan" {
+		t.Fatalf("EXPLAIN columns = %v", rows.Columns)
+	}
+	n := mustExec(t, db, "EXPLAIN SELECT zoneid FROM Zone")
+	if int(n) != rows.Len() {
+		t.Fatalf("Exec(EXPLAIN) = %d rows, Query saw %d", n, rows.Len())
+	}
+	s1, err := db.Explain("SELECT zoneid FROM Zone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := db.Explain("EXPLAIN SELECT zoneid FROM Zone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || s1 == "" {
+		t.Fatalf("Explain disagrees with itself:\n%s\nvs\n%s", s1, s2)
+	}
+	if _, err := db.Explain("INSERT INTO Obj VALUES (3, 'c')"); err == nil {
+		t.Error("Explain accepted a non-SELECT")
+	}
+}

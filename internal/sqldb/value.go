@@ -1,14 +1,29 @@
 // Package sqldb is a from-scratch SQL database engine over the storage
-// layer: a lexer, recursive-descent parser, planner with clustered-index
-// range pushdown, and a Volcano-style executor, plus registries for scalar
-// and table-valued functions so the paper's UDFs (fGetNearbyObjEqZd,
+// layer: a lexer, recursive-descent parser, a two-phase query compiler —
+// logical binding (plan.go) then a rule-based physical planner with
+// Volcano-style operators (physical.go) — and registries for scalar and
+// table-valued functions so the paper's UDFs (fGetNearbyObjEqZd,
 // fBCGr200, ...) can be installed from Go.
 //
+// The planner is where the engine's fast paths become reachable from
+// plain SQL: scans over tables with a columnar projection lower to
+// ColumnarScan (segment pages, directory pruning, only referenced
+// columns decoded), lateral joins against batch-capable TVFs lower to
+// ZoneSweepJoin (the batched zone sweep answering every outer row in one
+// pass), and EXPLAIN [ANALYZE] prints the physical tree with
+// estimated/actual row counts. Expressions bind to schema slots at plan
+// time; operators exchange borrowed rows and the row-shaping operators
+// allocate results from block arenas, so scan-shaped queries stay
+// allocation-light. PlannerKnobs switches individual rules off for
+// equivalence tests and ablations.
+//
 // The dialect is the subset of T-SQL the paper's appendix needs: CREATE
-// TABLE (with PRIMARY KEY), CREATE CLUSTERED INDEX, INSERT ... VALUES /
-// SELECT, SELECT with JOIN/CROSS JOIN/WHERE/GROUP BY/HAVING/ORDER BY/LIMIT,
-// UPDATE, DELETE, TRUNCATE TABLE, and DROP TABLE. See parser.go for the
-// grammar.
+// TABLE (with PRIMARY KEY), CREATE CLUSTERED INDEX, CREATE COLUMNAR
+// PROJECTION, EXPLAIN [ANALYZE], INSERT ... VALUES / SELECT, SELECT with
+// JOIN/CROSS JOIN/WHERE/GROUP BY/HAVING/ORDER BY/LIMIT, UPDATE, DELETE,
+// TRUNCATE TABLE, and DROP TABLE. See parser.go for the grammar.
+// Results come back materialised (DB.Query) or streamed from the plan
+// (DB.QueryIter).
 //
 // Storage contract: a Table is a B+tree in clustered-key order with two
 // write paths — per-row Insert (one descent per row) and BulkInsert

@@ -214,25 +214,42 @@ func SearchTable(t *sqldb.Table, heightDeg, raDeg, decDeg, rDeg float64, fn func
 // zone table, so the paper's SQL (SELECT * FROM fGetNearbyObjEqZd(2.5, 3.0,
 // 0.5)) runs verbatim on the engine. The returned schema is the paper's
 // (objID bigint, distance float).
+//
+// The registration also wires the TVF's batch path: a SQL join of a probe
+// table against the function — the paper's spGetNearbyObjEqZd cursor shape
+// — lowers in the sqldb planner to a ZoneSweepJoin that answers every
+// probe with one batched sweep (BatchSearch, or BatchSearchColumnar when
+// the zone table carries its column-major projection) instead of one
+// SearchTable descent per row. Sequential sweep; see
+// RegisterNearbyTVFWorkers for the worker-pool variant.
 func RegisterNearbyTVF(db *sqldb.DB, zoneTable *sqldb.Table, heightDeg float64) {
+	RegisterNearbyTVFWorkers(db, zoneTable, heightDeg, 1)
+}
+
+// RegisterNearbyTVFWorkers is RegisterNearbyTVF with the batch path
+// sweeping on a worker pool of the given size (0 = one per CPU, 1 =
+// sequential). Output is bit-identical at every setting.
+func RegisterNearbyTVFWorkers(db *sqldb.DB, zoneTable *sqldb.Table, heightDeg float64, workers int) {
+	parseArgs := func(args []sqldb.Value) (ra, dec, r float64, err error) {
+		if len(args) != 3 {
+			return 0, 0, 0, fmt.Errorf("zone: fGetNearbyObjEqZd expects (ra, dec, r)")
+		}
+		if ra, err = args[0].AsFloat(); err != nil {
+			return
+		}
+		if dec, err = args[1].AsFloat(); err != nil {
+			return
+		}
+		r, err = args[2].AsFloat()
+		return
+	}
 	db.RegisterTVF("fGetNearbyObjEqZd", &sqldb.TVF{
 		Cols: []sqldb.Column{
 			{Name: "objID", Type: sqldb.TInt},
 			{Name: "distance", Type: sqldb.TFloat},
 		},
 		Fn: func(args []sqldb.Value) ([][]sqldb.Value, error) {
-			if len(args) != 3 {
-				return nil, fmt.Errorf("zone: fGetNearbyObjEqZd expects (ra, dec, r)")
-			}
-			ra, err := args[0].AsFloat()
-			if err != nil {
-				return nil, err
-			}
-			dec, err := args[1].AsFloat()
-			if err != nil {
-				return nil, err
-			}
-			r, err := args[2].AsFloat()
+			ra, dec, r, err := parseArgs(args)
 			if err != nil {
 				return nil, err
 			}
@@ -242,5 +259,30 @@ func RegisterNearbyTVF(db *sqldb.DB, zoneTable *sqldb.Table, heightDeg float64) 
 			})
 			return rows, err
 		},
+		Batch: func(probes [][]sqldb.Value, emit func(int, []sqldb.Value)) error {
+			ps := make([]Probe, len(probes))
+			for i, args := range probes {
+				ra, dec, r, err := parseArgs(args)
+				if err != nil {
+					return err
+				}
+				ps[i] = Probe{Ra: ra, Dec: dec, R: r}
+			}
+			// One scratch row per emission; the sqldb contract says the
+			// consumer copies before the call returns. Per probe, the sweep
+			// emits in SearchTable's (zone asc, ra asc) order, so the
+			// batched plan is bit-identical to the per-row plan.
+			scratch := make([]sqldb.Value, 2)
+			fn := func(pi int, zr ZoneRow) {
+				scratch[0] = sqldb.Int(zr.ObjID)
+				scratch[1] = sqldb.Float(zr.Distance)
+				emit(pi, scratch)
+			}
+			if ct := zoneTable.Columnar(); ct != nil {
+				return ParallelBatchSearchColumnar(ct, heightDeg, ps, workers, fn)
+			}
+			return ParallelBatchSearch(zoneTable, heightDeg, ps, workers, fn)
+		},
+		Source: zoneTable,
 	})
 }

@@ -1,0 +1,223 @@
+package zone
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/sky"
+	"repro/internal/sqldb"
+)
+
+// sqlJoinFixture installs a zone table (columnar or row-only), registers
+// fGetNearbyObjEqZd, and loads the probes into a Probes table clustered on
+// pid, so the SQL join's outer order is the probe slice's order.
+func sqlJoinFixture(t *testing.T, gals []sky.Galaxy, height float64, probes []Probe, columnar bool) (*sqldb.DB, *sqldb.Table) {
+	t.Helper()
+	db := sqldb.Open(0)
+	var zt *sqldb.Table
+	var err error
+	if columnar {
+		zt, err = InstallZoneTableColumnar(db, "Zone", gals, height)
+	} else {
+		zt, err = InstallZoneTable(db, "Zone", gals, height)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterNearbyTVF(db, zt, height)
+	if _, err := db.Exec("CREATE TABLE Probes (pid bigint PRIMARY KEY, ra float, dec float, r float)"); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := db.Table("Probes")
+	for i, p := range probes {
+		err := pt.Insert([]sqldb.Value{
+			sqldb.Int(int64(i)), sqldb.Float(p.Ra), sqldb.Float(p.Dec), sqldb.Float(p.R),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, zt
+}
+
+// sweepOracle answers the probes with the Go batch sweep (columnar when
+// the table carries its projection) and returns the rows the SQL join must
+// produce: per probe in pid order, per hit in the sweep's emission order,
+// as (pid, objID, distance).
+func sweepOracle(t *testing.T, zt *sqldb.Table, height float64, probes []Probe) [][]sqldb.Value {
+	t.Helper()
+	hits := make([][][]sqldb.Value, len(probes))
+	fn := func(pi int, zr ZoneRow) {
+		hits[pi] = append(hits[pi], []sqldb.Value{
+			sqldb.Int(int64(pi)), sqldb.Int(zr.ObjID), sqldb.Float(zr.Distance),
+		})
+	}
+	var err error
+	if ct := zt.Columnar(); ct != nil {
+		err = ParallelBatchSearchColumnar(ct, height, probes, 1, fn)
+	} else {
+		err = ParallelBatchSearch(zt, height, probes, 1, fn)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]sqldb.Value
+	for _, h := range hits {
+		out = append(out, h...)
+	}
+	return out
+}
+
+// requireSameRows asserts bit-identical result sets (float equality is
+// exact equality; the plans must agree bitwise, not approximately).
+func requireSameRows(t *testing.T, label string, got *sqldb.Rows, want [][]sqldb.Value) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), len(want))
+	}
+	i := 0
+	for got.Next() {
+		g, w := got.Row(), want[i]
+		if len(g) != len(w) {
+			t.Fatalf("%s row %d: width %d, want %d", label, i, len(g), len(w))
+		}
+		for c := range g {
+			if g[c] != w[c] {
+				t.Fatalf("%s row %d col %d: %#v, want %#v", label, i, c, g[c], w[c])
+			}
+		}
+		i++
+	}
+}
+
+// TestSQLZoneJoinMatchesGoSweep is the planner's acceptance test: the
+// paper's neighbour query — a probe table joined against
+// fGetNearbyObjEqZd — planned as a ZoneSweepJoin must return rows
+// bit-identical to zone.(Parallel)BatchSearch(Columnar), to the naive
+// per-row TVFApply plan, and across the columnar/row zone
+// representations, including probes straddling the RA 0°/360° seam.
+func TestSQLZoneJoinMatchesGoSweep(t *testing.T) {
+	const query = `SELECT p.pid, n.objID, n.distance FROM Probes p CROSS JOIN fGetNearbyObjEqZd(p.ra, p.dec, p.r) n`
+	cases := []struct {
+		name   string
+		gals   []sky.Galaxy
+		height float64
+		probes []Probe
+	}{
+		{
+			name: "seam", gals: seamGalaxies(), height: 0.25,
+			probes: func() []Probe {
+				var ps []Probe
+				for _, p := range seamProbes() {
+					ps = append(ps, Probe{Ra: p[0], Dec: p[1], R: p[2]})
+				}
+				return append(ps, Probe{Ra: 12, Dec: 1, R: -1}) // matches nothing
+			}(),
+		},
+		{
+			name: "survey", gals: testGalaxies(t, 31, 8000), height: astro.ZoneHeightDeg,
+			probes: func() []Probe {
+				rng := rand.New(rand.NewSource(41))
+				ps := make([]Probe, 64)
+				for i := range ps {
+					ps[i] = Probe{
+						Ra:  180.0 + rng.Float64(),
+						Dec: -0.5 + rng.Float64(),
+						R:   0.02 + rng.Float64()*0.12,
+					}
+				}
+				return ps
+			}(),
+		},
+	}
+	for _, tc := range cases {
+		for _, columnar := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s/columnar=%v", tc.name, columnar), func(t *testing.T) {
+				db, zt := sqlJoinFixture(t, tc.gals, tc.height, tc.probes, columnar)
+				want := sweepOracle(t, zt, tc.height, tc.probes)
+				if len(want) == 0 {
+					t.Fatal("oracle found no neighbours; fixture is degenerate")
+				}
+
+				// The planned query must run the batched sweep...
+				plan, err := db.Explain(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(plan, "ZoneSweepJoin fGetNearbyObjEqZd(p.ra, p.dec, p.r)") {
+					t.Fatalf("plan does not lower to ZoneSweepJoin:\n%s", plan)
+				}
+				if columnar && !strings.Contains(plan, "ColumnarScan Zone") {
+					t.Fatalf("columnar zone store not shown as the sweep's access path:\n%s", plan)
+				}
+				if !columnar && !strings.Contains(plan, "IndexScan Zone") {
+					t.Fatalf("row zone store not shown as the sweep's access path:\n%s", plan)
+				}
+
+				// ...and return the Go sweep's exact rows.
+				rows, err := db.Query(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameRows(t, "planned SQL", rows, want)
+
+				// The naive per-row plan (TVFApply -> SearchTable per probe)
+				// must agree bitwise with both.
+				db.SetPlannerKnobs(sqldb.PlannerKnobs{NoZoneSweepJoin: true})
+				naivePlan, err := db.Explain(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(naivePlan, "TVFApply fGetNearbyObjEqZd") || strings.Contains(naivePlan, "ZoneSweepJoin") {
+					t.Fatalf("NoZoneSweepJoin knob did not restore the per-row plan:\n%s", naivePlan)
+				}
+				naive, err := db.Query(query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameRows(t, "naive SQL", naive, want)
+			})
+		}
+	}
+}
+
+// TestSQLZoneJoinResidualAndProjection pins two planner details of the
+// neighbour shape: an INNER JOIN's ON clause applies as a residual filter
+// over the batched join's output, and EXPLAIN ANALYZE reports actual row
+// counts on the sweep operator.
+func TestSQLZoneJoinResidualAndProjection(t *testing.T) {
+	gals := testGalaxies(t, 37, 4000)
+	probes := []Probe{
+		{Ra: 180.2, Dec: 0.1, R: 0.1},
+		{Ra: 180.7, Dec: -0.2, R: 0.1},
+	}
+	db, zt := sqlJoinFixture(t, gals, astro.ZoneHeightDeg, probes, true)
+	want := sweepOracle(t, zt, astro.ZoneHeightDeg, probes)
+	var filtered [][]sqldb.Value
+	for _, r := range want {
+		if r[2].F < 0.05 {
+			filtered = append(filtered, r)
+		}
+	}
+	if len(filtered) == 0 || len(filtered) == len(want) {
+		t.Fatalf("fixture does not exercise the residual (kept %d of %d)", len(filtered), len(want))
+	}
+	const query = `SELECT p.pid, n.objID, n.distance FROM Probes p JOIN fGetNearbyObjEqZd(p.ra, p.dec, p.r) n ON n.distance < 0.05`
+	rows, err := db.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRows(t, "residual join", rows, filtered)
+
+	analyzed, err := db.Explain("EXPLAIN ANALYZE " + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLine := fmt.Sprintf("actual %d rows", len(filtered))
+	if !strings.Contains(analyzed, "ZoneSweepJoin") || !strings.Contains(analyzed, wantLine) {
+		t.Fatalf("EXPLAIN ANALYZE missing sweep actuals (%s):\n%s", wantLine, analyzed)
+	}
+}
