@@ -8,15 +8,29 @@
 // SQL gets the same sweep the Go pipeline uses. Submit
 // "EXPLAIN SELECT ..." through the query endpoints to see the plan.
 //
+// The daemon has production manners: the HTTP server carries read, write,
+// and idle timeouts; SIGINT/SIGTERM trigger a graceful drain (stop
+// admitting, let in-flight jobs finish, force-cancel whatever is still
+// running when the drain deadline expires).
+//
 // Endpoints (JSON): see casjobs.Server.Handler.
 //
-// Usage: casjobsd -cat sky.cat [-addr :8420]
+// Usage: casjobsd -cat sky.cat [-addr :8420] [-workers 4]
+//
+//	[-quick-timeout 5s] [-long-timeout 60s] [-max-queue 256]
+//	[-user-qps 0] [-drain-timeout 30s]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/casjobs"
 	"repro/internal/maxbcg"
@@ -26,9 +40,15 @@ import (
 
 func main() {
 	var (
-		catPath = flag.String("cat", "sky.cat", "catalog file for the DR1 context")
-		addr    = flag.String("addr", ":8420", "listen address")
-		workers = flag.Int("workers", 4, "long-queue workers")
+		catPath      = flag.String("cat", "sky.cat", "catalog file for the DR1 context")
+		addr         = flag.String("addr", ":8420", "listen address")
+		workers      = flag.Int("workers", 4, "long-queue workers")
+		quickWorkers = flag.Int("quick-workers", 2, "quick-queue workers")
+		quickTimeout = flag.Duration("quick-timeout", 5*time.Second, "execution deadline per quick job")
+		longTimeout  = flag.Duration("long-timeout", 60*time.Second, "execution deadline per long job")
+		maxQueue     = flag.Int("max-queue", 256, "max waiting jobs per queue (beyond: 503)")
+		userQPS      = flag.Float64("user-qps", 0, "per-user sustained submissions/sec (0 = unlimited; beyond: 429)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -50,9 +70,48 @@ func main() {
 	}
 	log.Printf("casjobsd: DR1 context loaded with %d galaxies (+ Zone table and fGetNearbyObjEqZd)", n)
 
-	srv := casjobs.NewServer(map[string]*sqldb.DB{"DR1": cas}, *workers)
-	defer srv.Close()
+	srv := casjobs.NewServerConfig(map[string]*sqldb.DB{"DR1": cas}, casjobs.Config{
+		QuickWorkers: *quickWorkers,
+		LongWorkers:  *workers,
+		QuickTimeout: *quickTimeout,
+		LongTimeout:  *longTimeout,
+		MaxQueue:     *maxQueue,
+		UserQPS:      *userQPS,
+	})
 
-	log.Printf("casjobsd: listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 2 * *longTimeout, // quick submissions block until the job completes
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("casjobsd: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("casjobsd: %v", err)
+	case sig := <-sigc:
+		log.Printf("casjobsd: %s received, draining (deadline %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the job queues.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("casjobsd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("casjobsd: drain deadline hit, in-flight jobs cancelled: %v", err)
+	} else {
+		log.Printf("casjobsd: drained cleanly")
+	}
 }

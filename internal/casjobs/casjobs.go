@@ -4,16 +4,39 @@
 // queued and executed by workers; results land in MyDB tables; users form
 // groups and share tables. CasJobs is the paper's mechanism for "bringing
 // the code to the data".
+//
+// The service layer is built to survive a multi-tenant workload: quick and
+// long queues with separate worker budgets and per-queue execution
+// timeouts, preemptive cancellation threaded down to the storage sweeps,
+// per-user token-bucket admission, bounded queue depth, bounded retries on
+// transient faults, panic isolation per job, and graceful drain.
 package casjobs
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/sqldb"
+)
+
+// Typed admission and lookup errors. The HTTP layer maps these onto
+// status codes (404/429/503); embedded detail is attached with %w so
+// errors.Is keeps working through the wrapping.
+var (
+	ErrUnknownUser    = errors.New("casjobs: unknown user")
+	ErrUnknownContext = errors.New("casjobs: unknown context")
+	ErrUnknownJob     = errors.New("casjobs: unknown job")
+	ErrQueueFull      = errors.New("casjobs: queue full")
+	ErrRateLimited    = errors.New("casjobs: rate limit exceeded")
+	ErrDraining       = errors.New("casjobs: server is draining")
 )
 
 // JobStatus is the lifecycle of a submitted query.
@@ -45,6 +68,11 @@ func (s JobStatus) String() string {
 	return "unknown"
 }
 
+// terminal reports whether the status is final.
+func (s JobStatus) terminal() bool {
+	return s == StatusFinished || s == StatusFailed || s == StatusCancelled
+}
+
 // Job is one submitted query.
 type Job struct {
 	ID      int64
@@ -61,11 +89,18 @@ type Job struct {
 	err      string
 	rows     *sqldb.Rows
 	rowCount int64
+	attempts int
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	cancel   context.CancelFunc // set while running; preemptive Cancel
 	done     chan struct{}
+	doneOnce sync.Once
 }
+
+// markDone closes the completion channel exactly once, no matter whether
+// the job finished, failed, timed out, or was cancelled while queued.
+func (j *Job) markDone() { j.doneOnce.Do(func() { close(j.done) }) }
 
 // Status returns the job's current state.
 func (j *Job) Status() JobStatus {
@@ -96,24 +131,167 @@ func (j *Job) RowCount() int64 {
 	return j.rowCount
 }
 
+// Attempts returns how many execution attempts the job consumed (1 for a
+// first-try success; more after transient-fault retries).
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
 // Elapsed returns the execution duration of a completed job.
 func (j *Job) Elapsed() time.Duration {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.finished.IsZero() {
+	if j.finished.IsZero() || j.started.IsZero() {
 		return 0
 	}
 	return j.finished.Sub(j.started)
 }
 
-// user is one registered account with its MyDB.
+// user is one registered account with its MyDB and token bucket.
 type user struct {
 	name string
 	mydb *sqldb.DB
+
+	// Token bucket for submission rate limiting (guarded by Server.mu).
+	tokens     float64
+	lastRefill time.Time
+}
+
+// Config tunes the service's robustness envelope. Zero values select
+// defaults, so Config{} behaves like the historical server.
+type Config struct {
+	// QuickWorkers and LongWorkers size the two worker pools
+	// (defaults 2 and 1). Quick jobs never wait behind long extractions.
+	QuickWorkers int
+	LongWorkers  int
+	// QuickTimeout and LongTimeout bound one job's execution on each
+	// queue (defaults 5s and 60s). A job past its deadline is failed
+	// with a timeout error and stops consuming CPU at the next
+	// cancellation checkpoint.
+	QuickTimeout time.Duration
+	LongTimeout  time.Duration
+	// MaxQueue bounds the number of jobs waiting in each queue
+	// (default 256). Submissions past the bound fail with ErrQueueFull.
+	MaxQueue int
+	// UserQPS caps each user's sustained submission rate via a token
+	// bucket of UserBurst capacity. Zero disables rate limiting;
+	// UserBurst defaults to max(1, 2*UserQPS).
+	UserQPS   float64
+	UserBurst int
+	// MaxRetries bounds re-execution after transient faults (default 2;
+	// negative disables retries). RetryBase is the first backoff delay,
+	// doubled per attempt (default 5ms).
+	MaxRetries int
+	RetryBase  time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QuickWorkers < 1 {
+		c.QuickWorkers = 2
+	}
+	if c.LongWorkers < 1 {
+		c.LongWorkers = 1
+	}
+	if c.QuickTimeout <= 0 {
+		c.QuickTimeout = 5 * time.Second
+	}
+	if c.LongTimeout <= 0 {
+		c.LongTimeout = 60 * time.Second
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 256
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 5 * time.Millisecond
+	}
+	if c.UserBurst <= 0 {
+		c.UserBurst = int(math.Max(1, 2*c.UserQPS))
+	}
+	return c
+}
+
+// jobQueue is a FIFO with blocking pop and O(n) removal. A slice-backed
+// queue (not a channel) so that cancelling a queued job releases its
+// admission slot immediately instead of when a worker happens to pop it.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*Job
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *jobQueue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until an item is available or the queue is closed and empty.
+// A closed queue still drains its backlog, which is what lets Shutdown
+// finish queued work inside the drain deadline.
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j, true
+}
+
+// remove deletes a still-queued job, freeing its admission slot.
+func (q *jobQueue) remove(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, x := range q.items {
+		if x == j {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // Server is the CasJobs service.
 type Server struct {
+	cfg Config
+
 	mu       sync.Mutex
 	contexts map[string]*sqldb.DB // shared read-only catalogs
 	users    map[string]*user
@@ -121,11 +299,17 @@ type Server struct {
 	shared   map[string]sharedTable     // "group/table" -> source
 	jobs     map[int64]*Job
 	nextID   int64
-	queue    chan *Job
-	wg       sync.WaitGroup
-	closed   bool
+	draining bool
+
+	quick *jobQueue
+	long  *jobQueue
+	wg    sync.WaitGroup
+
 	// MyDBFrames sizes each user's buffer pool.
 	MyDBFrames int
+
+	// now is swapped in tests to drive the token bucket deterministically.
+	now func() time.Time
 }
 
 type sharedTable struct {
@@ -134,41 +318,115 @@ type sharedTable struct {
 }
 
 // NewServer creates a CasJobs service over the given shared contexts (name
-// -> database) with the given number of long-queue workers.
+// -> database) with the given number of long-queue workers and default
+// robustness settings.
 func NewServer(contexts map[string]*sqldb.DB, workers int) *Server {
-	if workers < 1 {
-		workers = 1
-	}
+	return NewServerConfig(contexts, Config{LongWorkers: workers})
+}
+
+// NewServerConfig creates a CasJobs service with explicit queue, timeout,
+// admission, and retry settings.
+func NewServerConfig(contexts map[string]*sqldb.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
+		cfg:        cfg,
 		contexts:   make(map[string]*sqldb.DB),
 		users:      make(map[string]*user),
 		groups:     make(map[string]map[string]bool),
 		shared:     make(map[string]sharedTable),
 		jobs:       make(map[int64]*Job),
-		queue:      make(chan *Job, 1024),
+		quick:      newJobQueue(),
+		long:       newJobQueue(),
 		MyDBFrames: 1024,
+		now:        time.Now,
 	}
 	for name, db := range contexts {
 		s.contexts[strings.ToUpper(name)] = db
 	}
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.QuickWorkers; w++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.workerLoop(s.quick, cfg.QuickTimeout)
+	}
+	for w := 0; w < cfg.LongWorkers; w++ {
+		s.wg.Add(1)
+		go s.workerLoop(s.long, cfg.LongTimeout)
 	}
 	return s
 }
 
-// Close drains the long queue and stops the workers.
-func (s *Server) Close() {
+// Close drains both queues and stops the workers, waiting indefinitely.
+func (s *Server) Close() { _ = s.Shutdown(context.Background()) }
+
+// Shutdown gracefully drains the service: admission stops immediately
+// (Submit fails with ErrDraining), queued and running jobs are given until
+// ctx expires to finish, then everything still active is cancelled. It
+// returns nil on a clean drain or ctx.Err() when the deadline forced
+// cancellation.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	if s.closed {
+	if s.draining {
 		s.mu.Unlock()
-		return
+		s.wg.Wait()
+		return nil
 	}
-	s.closed = true
+	s.draining = true
 	s.mu.Unlock()
-	close(s.queue)
-	s.wg.Wait()
+
+	s.quick.close()
+	s.long.close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// cancelAll force-cancels every non-terminal job: queued jobs are marked
+// cancelled (workers skip them), running jobs get their context cancelled.
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		switch j.status {
+		case StatusQueued:
+			j.status = StatusCancelled
+			j.err = "cancelled: server shutdown"
+			j.finished = s.now()
+			j.markDone()
+		case StatusRunning:
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		j.mu.Unlock()
+	}
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueueDepth returns the number of jobs waiting in the quick and long
+// queues (not counting running jobs).
+func (s *Server) QueueDepth() (quick, long int) {
+	return s.quick.depth(), s.long.depth()
 }
 
 // CreateUser registers an account and provisions its MyDB.
@@ -182,7 +440,12 @@ func (s *Server) CreateUser(name string) error {
 	if _, dup := s.users[key]; dup {
 		return fmt.Errorf("casjobs: user %q already exists", name)
 	}
-	s.users[key] = &user{name: name, mydb: sqldb.Open(s.MyDBFrames)}
+	s.users[key] = &user{
+		name:       name,
+		mydb:       sqldb.Open(s.MyDBFrames),
+		tokens:     float64(s.cfg.UserBurst),
+		lastRefill: s.now(),
+	}
 	return nil
 }
 
@@ -193,7 +456,7 @@ func (s *Server) MyDB(userName string) (*sqldb.DB, error) {
 	defer s.mu.Unlock()
 	u, ok := s.users[strings.ToLower(userName)]
 	if !ok {
-		return nil, fmt.Errorf("casjobs: unknown user %q", userName)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, userName)
 	}
 	return u.mydb, nil
 }
@@ -210,43 +473,78 @@ func (s *Server) Contexts() []string {
 	return out
 }
 
-// Submit queues a query. quick jobs run synchronously (the CasJobs quick
-// queue, meant for short interactive queries); long jobs go to the worker
-// queue. Against a shared context only SELECT is allowed; against MYDB any
-// statement runs.
+// allowLocked refills and debits the user's token bucket. Callers hold
+// Server.mu.
+func (s *Server) allowLocked(u *user) bool {
+	if s.cfg.UserQPS <= 0 {
+		return true
+	}
+	now := s.now()
+	burst := float64(s.cfg.UserBurst)
+	u.tokens = math.Min(burst, u.tokens+now.Sub(u.lastRefill).Seconds()*s.cfg.UserQPS)
+	u.lastRefill = now
+	if u.tokens < 1 {
+		return false
+	}
+	u.tokens--
+	return true
+}
+
+// Submit admits a query into the quick or long queue. Quick submissions
+// block until the job completes (the CasJobs quick queue, meant for short
+// interactive queries); long jobs return immediately with the queued job.
+// Admission can fail with ErrUnknownUser, ErrUnknownContext,
+// ErrRateLimited, ErrQueueFull, or ErrDraining. Against a shared context
+// only SELECT is allowed; against MYDB any statement runs.
 func (s *Server) Submit(userName, context, query, outputTable string, quick bool) (*Job, error) {
 	s.mu.Lock()
-	if s.closed {
+	if s.draining {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("casjobs: server is closed")
+		return nil, ErrDraining
 	}
 	u, ok := s.users[strings.ToLower(userName)]
 	if !ok {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("casjobs: unknown user %q", userName)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, userName)
 	}
 	ctx := strings.ToUpper(context)
 	if ctx != "MYDB" {
 		if _, ok := s.contexts[ctx]; !ok {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("casjobs: unknown context %q", context)
+			return nil, fmt.Errorf("%w: %q", ErrUnknownContext, context)
 		}
+	}
+	if !s.allowLocked(u) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: user %q", ErrRateLimited, userName)
+	}
+	q := s.long
+	if quick {
+		q = s.quick
+	}
+	if q.depth() >= s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, s.cfg.MaxQueue)
 	}
 	s.nextID++
 	job := &Job{
 		ID: s.nextID, User: u.name, Context: ctx, Query: query,
 		OutputTable: outputTable, Quick: quick,
-		status: StatusQueued, created: time.Now(),
+		status: StatusQueued, created: s.now(),
 		done: make(chan struct{}),
 	}
 	s.jobs[job.ID] = job
+	if !q.push(job) {
+		// The queue closed between the draining check and the push.
+		delete(s.jobs, job.ID)
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
 	s.mu.Unlock()
 
 	if quick {
-		s.execute(job)
-		return job, nil
+		<-job.done
 	}
-	s.queue <- job
 	return job, nil
 }
 
@@ -256,7 +554,7 @@ func (s *Server) Job(id int64) (*Job, error) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		return nil, fmt.Errorf("casjobs: no job %d", id)
+		return nil, fmt.Errorf("%w: %d", ErrUnknownJob, id)
 	}
 	return j, nil
 }
@@ -285,87 +583,12 @@ func (s *Server) Wait(id int64) (JobStatus, error) {
 	return j.Status(), nil
 }
 
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for job := range s.queue {
-		s.execute(job)
-	}
-}
-
-func (s *Server) execute(job *Job) {
-	job.mu.Lock()
-	if job.status == StatusCancelled {
-		job.mu.Unlock()
-		return
-	}
-	job.status = StatusRunning
-	job.started = time.Now()
-	job.mu.Unlock()
-
-	status, errMsg := StatusFinished, ""
-	var rows *sqldb.Rows
-	var count int64
-	err := func() error {
-		s.mu.Lock()
-		u := s.users[strings.ToLower(job.User)]
-		ctxDB := s.contexts[job.Context]
-		s.mu.Unlock()
-
-		if job.Context == "MYDB" {
-			if job.OutputTable != "" {
-				r, err := u.mydb.Query(job.Query)
-				if err != nil {
-					return err
-				}
-				n, err := materialize(u.mydb, job.OutputTable, r)
-				count = n
-				return err
-			}
-			if isSelect(job.Query) {
-				r, err := u.mydb.Query(job.Query)
-				if err != nil {
-					return err
-				}
-				rows = r
-				count = int64(r.Len())
-				return nil
-			}
-			n, err := u.mydb.Exec(job.Query)
-			count = n
-			return err
-		}
-		// Shared context: read-only.
-		if !isSelect(job.Query) {
-			return fmt.Errorf("casjobs: context %s is read-only; only SELECT is allowed", job.Context)
-		}
-		r, err := ctxDB.Query(job.Query)
-		if err != nil {
-			return err
-		}
-		if job.OutputTable != "" {
-			n, err := materialize(u.mydb, job.OutputTable, r)
-			count = n
-			return err
-		}
-		rows = r
-		count = int64(r.Len())
-		return nil
-	}()
-	if err != nil {
-		status, errMsg = StatusFailed, err.Error()
-	}
-
-	job.mu.Lock()
-	job.status = status
-	job.err = errMsg
-	job.rows = rows
-	job.rowCount = count
-	job.finished = time.Now()
-	job.mu.Unlock()
-	close(job.done)
-}
-
-// Cancel marks a queued job cancelled; running jobs are not interrupted.
+// Cancel stops a job. A queued job is cancelled in place — its admission
+// slot frees immediately and Wait returns promptly. A running job has its
+// execution context cancelled; the operators notice at the next
+// checkpoint and the job lands in StatusCancelled. Cancelling an already
+// cancelled job is a no-op; cancelling a finished or failed one is an
+// error.
 func (s *Server) Cancel(id int64) error {
 	j, err := s.Job(id)
 	if err != nil {
@@ -373,11 +596,167 @@ func (s *Server) Cancel(id int64) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.status != StatusQueued {
-		return fmt.Errorf("casjobs: job %d is %s, not queued", id, j.status)
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCancelled
+		j.err = "cancelled while queued"
+		j.finished = s.now()
+		// Free the admission slot now, not when a worker pops the
+		// corpse. remove may miss when a worker raced us to the pop;
+		// runJob's queued-status check then skips execution anyway.
+		if j.Quick {
+			s.quick.remove(j)
+		} else {
+			s.long.remove(j)
+		}
+		j.markDone()
+		return nil
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	case StatusCancelled:
+		return nil
+	default:
+		return fmt.Errorf("casjobs: job %d is already %s", id, j.status)
 	}
-	j.status = StatusCancelled
-	close(j.done)
+}
+
+func (s *Server) workerLoop(q *jobQueue, timeout time.Duration) {
+	defer s.wg.Done()
+	for {
+		j, ok := q.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j, timeout)
+	}
+}
+
+// runJob executes one popped job under its queue's deadline, classifying
+// the outcome into finished / failed / cancelled.
+func (s *Server) runJob(j *Job, timeout time.Duration) {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		// Cancelled between admission and pop.
+		j.mu.Unlock()
+		j.markDone()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j.status = StatusRunning
+	j.started = s.now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	var rows *sqldb.Rows
+	var count int64
+	err := s.runAttempts(ctx, j, &rows, &count)
+
+	status, errMsg := StatusFinished, ""
+	switch {
+	case err == nil:
+		// Finished, even if the deadline fired a moment later.
+	case errors.Is(err, context.Canceled):
+		status, errMsg = StatusCancelled, "cancelled while running"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, errMsg = StatusFailed, fmt.Sprintf("timeout after %v", timeout)
+	default:
+		status, errMsg = StatusFailed, err.Error()
+	}
+
+	j.mu.Lock()
+	j.status = status
+	j.err = errMsg
+	j.rows = rows
+	j.rowCount = count
+	j.finished = s.now()
+	j.cancel = nil
+	j.mu.Unlock()
+	j.markDone()
+}
+
+// runAttempts executes the job, retrying on transient faults (bounded by
+// MaxRetries, exponential backoff from RetryBase). Cancellation and
+// deadline expiry are never retried.
+func (s *Server) runAttempts(ctx context.Context, j *Job, rows **sqldb.Rows, count *int64) error {
+	backoff := s.cfg.RetryBase
+	for attempt := 0; ; attempt++ {
+		j.mu.Lock()
+		j.attempts = attempt + 1
+		j.mu.Unlock()
+		err := s.runOnce(ctx, j, rows, count)
+		if err == nil || ctx.Err() != nil || !faultinject.IsTransient(err) || attempt >= s.cfg.MaxRetries {
+			return err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return err
+		}
+		backoff *= 2
+	}
+}
+
+// runOnce performs a single execution attempt with panic isolation: a
+// panicking job is converted into a failure carrying the stack, and the
+// worker survives.
+func (s *Server) runOnce(ctx context.Context, j *Job, rows **sqldb.Rows, count *int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("casjobs: job panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	*rows, *count = nil, 0
+
+	s.mu.Lock()
+	u := s.users[strings.ToLower(j.User)]
+	ctxDB := s.contexts[j.Context]
+	s.mu.Unlock()
+	if u == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownUser, j.User)
+	}
+
+	if j.Context == "MYDB" {
+		if j.OutputTable != "" {
+			r, err := u.mydb.QueryContext(ctx, j.Query)
+			if err != nil {
+				return err
+			}
+			n, err := materialize(u.mydb, j.OutputTable, j.ID, r)
+			*count = n
+			return err
+		}
+		if isSelect(j.Query) {
+			r, err := u.mydb.QueryContext(ctx, j.Query)
+			if err != nil {
+				return err
+			}
+			*rows = r
+			*count = int64(r.Len())
+			return nil
+		}
+		n, err := u.mydb.ExecContext(ctx, j.Query)
+		*count = n
+		return err
+	}
+	// Shared context: read-only.
+	if !isSelect(j.Query) {
+		return fmt.Errorf("casjobs: context %s is read-only; only SELECT is allowed", j.Context)
+	}
+	r, err := ctxDB.QueryContext(ctx, j.Query)
+	if err != nil {
+		return err
+	}
+	if j.OutputTable != "" {
+		n, err := materialize(u.mydb, j.OutputTable, j.ID, r)
+		*count = n
+		return err
+	}
+	*rows = r
+	*count = int64(r.Len())
 	return nil
 }
 
@@ -396,10 +775,15 @@ func isSelect(query string) bool {
 	return false
 }
 
-// materialize stores a result set as a fresh MyDB table. Column types are
-// inferred from the first non-null value of each column (FLOAT otherwise).
-func materialize(db *sqldb.DB, table string, rows *sqldb.Rows) (int64, error) {
-	_ = db.DropTable(table, true)
+// materialize stores a result set as a MyDB table atomically: rows are
+// bulk-loaded into a job-private staging table which is then renamed over
+// the target in one catalog swap. A failure at any point (including an
+// injected storage fault mid-load) drops the staging table and leaves the
+// previous target untouched. Column types are inferred from the first
+// non-null value of each column (FLOAT otherwise).
+func materialize(db *sqldb.DB, table string, jobID int64, rows *sqldb.Rows) (int64, error) {
+	stage := fmt.Sprintf("__casjobs_stage_%d_%s", jobID, table)
+	_ = db.DropTable(stage, true)
 	cols := make([]sqldb.Column, len(rows.Columns))
 	all := rows.All()
 	for i, name := range rows.Columns {
@@ -412,7 +796,7 @@ func materialize(db *sqldb.DB, table string, rows *sqldb.Rows) (int64, error) {
 		}
 		cols[i] = sqldb.Column{Name: name, Type: typ}
 	}
-	t, err := db.CreateTable(table, cols, "")
+	t, err := db.CreateTable(stage, cols, "")
 	if err != nil {
 		return 0, err
 	}
@@ -420,6 +804,11 @@ func materialize(db *sqldb.DB, table string, rows *sqldb.Rows) (int64, error) {
 	// are exactly the MyDB batch ingest the engine's load path is built
 	// for (encode once, sort the run, write packed pages bottom-up).
 	if err := t.BulkInsert(all); err != nil {
+		_ = db.DropTable(stage, true)
+		return 0, err
+	}
+	if err := db.RenameTable(stage, table); err != nil {
+		_ = db.DropTable(stage, true)
 		return 0, err
 	}
 	return int64(len(all)), nil
@@ -430,7 +819,7 @@ func (s *Server) CreateGroup(group, owner string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.users[strings.ToLower(owner)]; !ok {
-		return fmt.Errorf("casjobs: unknown user %q", owner)
+		return fmt.Errorf("%w: %q", ErrUnknownUser, owner)
 	}
 	key := strings.ToLower(group)
 	if _, dup := s.groups[key]; dup {
@@ -449,7 +838,7 @@ func (s *Server) JoinGroup(group, userName string) error {
 		return fmt.Errorf("casjobs: unknown group %q", group)
 	}
 	if _, ok := s.users[strings.ToLower(userName)]; !ok {
-		return fmt.Errorf("casjobs: unknown user %q", userName)
+		return fmt.Errorf("%w: %q", ErrUnknownUser, userName)
 	}
 	g[strings.ToLower(userName)] = true
 	return nil

@@ -2,8 +2,10 @@ package casjobs
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strconv"
 )
@@ -13,17 +15,42 @@ import (
 // specification" once DAIS became a recommendation.
 //
 //	POST /users?name=maria                       create a user + MyDB
-//	POST /submit?user=&context=&output=&quick=1  body: SQL text
+//	POST /submit?user=&context=&output=&quick=1  body: SQL text, or a JSON
+//	                                             object when Content-Type
+//	                                             is application/json
+//	POST /cancel?id=1                            cancel a queued/running job
 //	GET  /jobs?id=1                              one job's status/result
 //	GET  /jobs?user=maria                        a user's job list
 //	GET  /contexts                               shared context names
+//
+// Admission failures map onto status codes: unknown user/context/job are
+// 404, rate limiting is 429, a full queue or a draining server is 503,
+// and everything else (parse errors included) is 400. Error bodies are
+// always {"error": "..."}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/users", s.handleUsers)
 	mux.HandleFunc("/contexts", s.handleContexts)
 	mux.HandleFunc("/submit", s.handleSubmit)
+	mux.HandleFunc("/cancel", s.handleCancel)
 	mux.HandleFunc("/jobs", s.handleJobs)
 	return mux
+}
+
+// statusFromErr maps the service's typed errors onto HTTP status codes.
+func statusFromErr(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownUser),
+		errors.Is(err, ErrUnknownContext),
+		errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
@@ -32,7 +59,7 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.CreateUser(r.URL.Query().Get("name")); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, statusFromErr(err), err.Error())
 		return
 	}
 	writeJSON(w, map[string]string{"status": "created"})
@@ -40,6 +67,16 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleContexts(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Contexts())
+}
+
+// submitRequest is the JSON submission body. Fields left empty fall back
+// to the matching query parameters.
+type submitRequest struct {
+	User    string `json:"user"`
+	Context string `json:"context"`
+	Query   string `json:"query"`
+	Output  string `json:"output"`
+	Quick   bool   `json:"quick"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -53,10 +90,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	quick := q.Get("quick") == "1" || q.Get("quick") == "true"
-	job, err := s.Submit(q.Get("user"), q.Get("context"), string(body), q.Get("output"), quick)
+	req := submitRequest{
+		User:    q.Get("user"),
+		Context: q.Get("context"),
+		Output:  q.Get("output"),
+		Quick:   q.Get("quick") == "1" || q.Get("quick") == "true",
+	}
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ct == "application/json" {
+		var jr submitRequest
+		if err := json.Unmarshal(body, &jr); err != nil {
+			httpError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+			return
+		}
+		if jr.User != "" {
+			req.User = jr.User
+		}
+		if jr.Context != "" {
+			req.Context = jr.Context
+		}
+		if jr.Output != "" {
+			req.Output = jr.Output
+		}
+		req.Quick = req.Quick || jr.Quick
+		req.Query = jr.Query
+	} else {
+		req.Query = string(body)
+	}
+	job, err := s.Submit(req.User, req.Context, req.Query, req.Output, req.Quick)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		httpError(w, statusFromErr(err), err.Error())
+		return
+	}
+	writeJSON(w, jobView(job))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	id, err := strconv.ParseInt(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad id")
+		return
+	}
+	if err := s.Cancel(id); err != nil {
+		httpError(w, statusFromErr(err), err.Error())
+		return
+	}
+	job, err := s.Job(id)
+	if err != nil {
+		httpError(w, statusFromErr(err), err.Error())
 		return
 	}
 	writeJSON(w, jobView(job))
@@ -72,7 +157,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 		job, err := s.Job(id)
 		if err != nil {
-			httpError(w, http.StatusNotFound, err.Error())
+			httpError(w, statusFromErr(err), err.Error())
 			return
 		}
 		writeJSON(w, jobView(job))
@@ -95,6 +180,7 @@ func jobView(j *Job) map[string]any {
 	v := map[string]any{
 		"id": j.ID, "user": j.User, "context": j.Context,
 		"status": j.Status().String(), "rows": j.RowCount(),
+		"attempts": j.Attempts(),
 	}
 	if e := j.Err(); e != "" {
 		v["error"] = e

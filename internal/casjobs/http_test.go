@@ -1,6 +1,7 @@
 package casjobs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -175,7 +176,7 @@ func TestHTTPErrors(t *testing.T) {
 	}{
 		{http.MethodGet, "/users?name=x", http.StatusMethodNotAllowed},
 		{http.MethodGet, "/submit?user=x&context=DR1", http.StatusMethodNotAllowed},
-		{http.MethodPost, "/submit?user=ghost&context=DR1", http.StatusBadRequest},
+		{http.MethodPost, "/submit?user=ghost&context=DR1", http.StatusNotFound},
 		{http.MethodGet, "/jobs?id=notanumber", http.StatusBadRequest},
 		{http.MethodGet, "/jobs?id=424242", http.StatusNotFound},
 		{http.MethodGet, "/jobs", http.StatusBadRequest},
@@ -193,5 +194,148 @@ func TestHTTPErrors(t *testing.T) {
 		if resp.StatusCode != c.wantStatus {
 			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.wantStatus)
 		}
+	}
+}
+
+// TestHTTPSubmitJSON pins the JSON submission body: a well-formed
+// application/json submit runs, and a malformed one is a 400 with the
+// stable {"error": ...} shape.
+func TestHTTPSubmitJSON(t *testing.T) {
+	ts, _ := newHTTPServer(t)
+	if resp, err := http.Post(ts.URL+"/users?name=zoe", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	body := `{"user":"zoe","context":"DR1","query":"SELECT COUNT(*) FROM galaxy","quick":true}`
+	resp, err := http.Post(ts.URL+"/submit", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job map[string]any
+	decode(t, resp, &job)
+	if job["status"] != "finished" {
+		t.Fatalf("JSON submit job = %v", job)
+	}
+
+	resp, err = http.Post(ts.URL+"/submit", "application/json", strings.NewReader(`{"user": "zoe", broken`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON status = %d, want 400", resp.StatusCode)
+	}
+	var e map[string]string
+	decode(t, resp, &e)
+	if e["error"] == "" {
+		t.Fatalf("malformed JSON body = %v, want error field", e)
+	}
+}
+
+// TestHTTPCancel pins the /cancel endpoint: bad ids are 400, unknown jobs
+// 404, and a queued job cancelled over HTTP reports status "cancelled".
+func TestHTTPCancel(t *testing.T) {
+	cas := sqldb.Open(128)
+	srv := NewServerConfig(map[string]*sqldb.DB{"DR1": cas}, Config{QuickWorkers: 1, LongWorkers: 1, MaxQueue: 8})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	if err := srv.CreateUser("max"); err != nil {
+		t.Fatal(err)
+	}
+	mydb, err := srv.MyDB("max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mydb.Exec("CREATE TABLE one (x bigint PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mydb.Exec("INSERT INTO one VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	mydb.RegisterScalar("block", func(args []sqldb.Value) (sqldb.Value, error) {
+		started <- struct{}{}
+		<-release
+		return args[0], nil
+	})
+	defer close(release)
+
+	for _, c := range []struct {
+		path       string
+		wantStatus int
+	}{
+		{"/cancel?id=notanumber", http.StatusBadRequest},
+		{"/cancel?id=424242", http.StatusNotFound},
+	} {
+		resp, err := http.Post(ts.URL+c.path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.wantStatus {
+			t.Errorf("POST %s = %d, want %d", c.path, resp.StatusCode, c.wantStatus)
+		}
+	}
+
+	// Occupy the long worker, then cancel a queued job over HTTP.
+	blocker, err := srv.Submit("max", "MYDB", "SELECT block(x) FROM one", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := srv.Submit("max", "MYDB", "SELECT x FROM one", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/cancel?id=%d", ts.URL, queued.ID), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view map[string]any
+	decode(t, resp, &view)
+	if view["status"] != "cancelled" {
+		t.Fatalf("cancelled job view = %v", view)
+	}
+	_ = blocker
+}
+
+// TestHTTPRateLimitAndDraining pins the 429 and 503 admission mappings.
+func TestHTTPRateLimitAndDraining(t *testing.T) {
+	cas := sqldb.Open(128)
+	srv := NewServerConfig(map[string]*sqldb.DB{"DR1": cas}, Config{
+		QuickWorkers: 1, LongWorkers: 1, UserQPS: 0.0001, UserBurst: 1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	if err := srv.CreateUser("lee"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cas.Exec("CREATE TABLE tiny (x bigint PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+
+	submit := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/submit?user=lee&context=DR1&quick=1",
+			"text/plain", strings.NewReader("SELECT COUNT(*) FROM tiny"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := submit(); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	if resp := submit(); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("rate-limited submit = %d, want 429", resp.StatusCode)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp := submit(); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
 	}
 }

@@ -1,0 +1,211 @@
+package casjobs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/sqldb"
+	"repro/internal/storage"
+)
+
+// loadCatalog builds a shared read-only context with a modest galaxy table.
+func loadCatalog(t testing.TB, rows int) *sqldb.DB {
+	t.Helper()
+	cas := sqldb.Open(256)
+	if _, err := cas.Exec("CREATE TABLE galaxy (objid bigint PRIMARY KEY, i real, gr real)"); err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]sqldb.Value, rows)
+	for i := range data {
+		data[i] = []sqldb.Value{
+			sqldb.Int(int64(i)),
+			sqldb.Float(15 + float64(i%7)),
+			sqldb.Float(float64(i%13) / 10),
+		}
+	}
+	tab, _ := cas.Table("galaxy")
+	if err := tab.BulkInsert(data); err != nil {
+		t.Fatal(err)
+	}
+	return cas
+}
+
+// TestCasjobsChaosLoad is the end-to-end robustness gate: hundreds of
+// concurrent jobs — quick and long, MyDB and shared-context, cancelled
+// mid-flight, with storage faults injected into every user's MyDB pool —
+// and afterwards no admitted job may be lost (done never closed) or left
+// non-terminal. Run under -race by the CI chaos job.
+func TestCasjobsChaosLoad(t *testing.T) {
+	defer faultinject.Reset()
+	cas := loadCatalog(t, 300)
+	srv := NewServerConfig(map[string]*sqldb.DB{"DR1": cas}, Config{
+		QuickWorkers: 4,
+		LongWorkers:  4,
+		QuickTimeout: 5 * time.Second,
+		LongTimeout:  5 * time.Second,
+		MaxQueue:     64,
+		MaxRetries:   1,
+		RetryBase:    time.Millisecond,
+	})
+
+	const nUsers = 4
+	for u := 0; u < nUsers; u++ {
+		name := fmt.Sprintf("user%d", u)
+		if err := srv.CreateUser(name); err != nil {
+			t.Fatal(err)
+		}
+		mydb, err := srv.MyDB(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mydb.Exec("CREATE TABLE notes (id bigint PRIMARY KEY, v real)"); err != nil {
+			t.Fatal(err)
+		}
+		// Every user's MyDB occasionally fails a page allocation: output
+		// materialisations and INSERTs see real storage faults.
+		site := fmt.Sprintf("chaos/%s-alloc", name)
+		faultinject.Enable(site, faultinject.Failpoint{Prob: 0.2, MaxHits: 40, Seed: int64(100 + u)})
+		mydb.Pool().SetFaultHooks(&storage.FaultHooks{Alloc: faultinject.Hook(site)})
+	}
+
+	var (
+		mu       sync.Mutex
+		jobs     []*Job
+		rejected atomic.Int64
+		workers  = 24
+		perG     = 8
+	)
+	record := func(j *Job) {
+		mu.Lock()
+		jobs = append(jobs, j)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 7919))
+			user := fmt.Sprintf("user%d", g%nUsers)
+			for k := 0; k < perG; k++ {
+				var (
+					j   *Job
+					err error
+				)
+				switch rng.Intn(6) {
+				case 0: // quick select against the catalog
+					j, err = srv.Submit(user, "DR1", "SELECT COUNT(*) FROM galaxy WHERE i < 18", "", true)
+				case 1: // long extraction into MyDB (may hit injected faults)
+					out := fmt.Sprintf("out_%d_%d", g, k)
+					j, err = srv.Submit(user, "DR1", "SELECT objid, i FROM galaxy WHERE gr < 0.9", out, false)
+				case 2: // MyDB write (may hit injected faults)
+					q := fmt.Sprintf("INSERT INTO notes VALUES (%d, %f)", int64(g)*1000+int64(k), rng.Float64())
+					j, err = srv.Submit(user, "MYDB", q, "", false)
+				case 3: // submit long then cancel immediately
+					j, err = srv.Submit(user, "DR1", "SELECT objid FROM galaxy", "", false)
+					if err == nil {
+						_ = srv.Cancel(j.ID) // racing terminal states is fine
+					}
+				case 4: // bad SQL: must fail cleanly, never wedge a worker
+					j, err = srv.Submit(user, "DR1", "SELEKT broken FROM nowhere", "", true)
+				case 5: // read-only violation against the shared context
+					j, err = srv.Submit(user, "DR1", "DELETE FROM galaxy", "", false)
+				}
+				if err != nil {
+					// Admission rejections must be typed.
+					if !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrRateLimited) && !errors.Is(err, ErrDraining) {
+						t.Errorf("untyped admission error: %v", err)
+					}
+					rejected.Add(1)
+					continue
+				}
+				record(j)
+			}
+		}(g)
+	}
+	wg.Wait()
+	srv.Close() // drains every queue
+
+	finished, failed, cancelled := 0, 0, 0
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		default:
+			t.Fatalf("job %d lost: done never closed (status %s)", j.ID, j.Status())
+		}
+		switch j.Status() {
+		case StatusFinished:
+			finished++
+		case StatusFailed:
+			failed++
+		case StatusCancelled:
+			cancelled++
+		default:
+			t.Fatalf("job %d left non-terminal: %s", j.ID, j.Status())
+		}
+	}
+	if finished == 0 || failed == 0 {
+		t.Fatalf("chaos mix degenerate: finished=%d failed=%d cancelled=%d rejected=%d",
+			finished, failed, cancelled, rejected.Load())
+	}
+	t.Logf("chaos: %d jobs admitted (%d finished, %d failed, %d cancelled), %d rejected",
+		len(jobs), finished, failed, cancelled, rejected.Load())
+}
+
+// BenchmarkCasjobsLoad measures the service under concurrent quick-queue
+// load: jobs/sec throughput and p99 submit-to-done latency. cmd/benchgate
+// gates the p99 against the committed BENCH snapshot.
+func BenchmarkCasjobsLoad(b *testing.B) {
+	cas := loadCatalog(b, 300)
+	srv := NewServerConfig(map[string]*sqldb.DB{"DR1": cas}, Config{
+		QuickWorkers: 4,
+		LongWorkers:  2,
+		MaxQueue:     4096,
+	})
+	defer srv.Close()
+	if err := srv.CreateUser("bench"); err != nil {
+		b.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	lats := make([]float64, 0, b.N)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			t0 := time.Now()
+			j, err := srv.Submit("bench", "DR1", "SELECT COUNT(*) FROM galaxy WHERE i < 18", "", true)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if j.Status() != StatusFinished {
+				b.Errorf("bench job = %s (%s)", j.Status(), j.Err())
+				return
+			}
+			d := time.Since(t0).Seconds() * 1000
+			mu.Lock()
+			lats = append(lats, d)
+			mu.Unlock()
+		}
+	})
+	elapsed := time.Since(start).Seconds()
+	b.StopTimer()
+	if len(lats) == 0 {
+		return
+	}
+	sort.Float64s(lats)
+	idx := int(float64(len(lats)) * 0.99)
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	b.ReportMetric(lats[idx], "p99_ms")
+	b.ReportMetric(float64(len(lats))/elapsed, "jobs_per_s")
+}

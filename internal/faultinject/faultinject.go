@@ -1,0 +1,184 @@
+// Package faultinject is a small failpoint registry for chaos testing the
+// engine's failure paths deterministically. Code under test names its
+// fault sites ("pool.fetch", "pool.alloc", ...); a test arms a site with
+// an error and/or added latency, a probability, and an optional hit
+// budget, then drives the system and asserts that retries, timeouts, and
+// graceful degradation behave as designed. With no site armed the
+// instrumented hot paths pay one atomic load — nothing else — so the
+// hooks can stay wired into production code.
+//
+// The registry is process-global (fault sites are few, named, and tests
+// arm them around the code under test); Reset clears everything between
+// tests. Probabilistic sites draw from a seeded generator so a chaos run
+// replays identically.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// InjectedError is the error an armed failpoint returns. It unwraps to
+// nothing but reports Transient() true, the marker the casjobs retry
+// classifier (and any other interested layer) keys on: an injected fault
+// models a transient storage hiccup, not a logic error.
+type InjectedError struct {
+	Site string
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected fault at %s", e.Site)
+}
+
+// Transient marks injected faults as retryable.
+func (e *InjectedError) Transient() bool { return true }
+
+// Failpoint is one armed site's behaviour. The zero value injects a plain
+// *InjectedError on every hit, forever.
+type Failpoint struct {
+	// Err is returned on a firing hit; nil selects an *InjectedError
+	// naming the site. Latency-only sites set ErrNone.
+	Err error
+	// ErrNone suppresses the error entirely: the site only sleeps.
+	ErrNone bool
+	// Latency is slept on a firing hit before returning.
+	Latency time.Duration
+	// Prob is the chance a hit fires, in [0, 1]; 0 means always (the
+	// common case of "fail the next MaxHits fetches" reads naturally).
+	Prob float64
+	// MaxHits caps how many hits fire; 0 is unlimited. Non-firing
+	// (probability-skipped) hits do not consume the budget.
+	MaxHits int
+	// Seed seeds the site's private generator when Prob is set, so a
+	// probabilistic chaos run is replayable. 0 picks a fixed default.
+	Seed int64
+}
+
+// site is one armed failpoint plus its firing state.
+type site struct {
+	fp    Failpoint
+	rng   *rand.Rand
+	fired int // firing hits so far
+	hits  int // total evaluations, fired or not
+}
+
+var (
+	mu     sync.Mutex
+	sites  map[string]*site
+	armed  atomic.Int32 // number of armed sites; the fast-path gate
+	sleepf = time.Sleep // swapped in tests that count sleeps
+)
+
+// Enable arms a failpoint at the named site, replacing any previous one.
+func Enable(name string, fp Failpoint) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*site)
+	}
+	if _, dup := sites[name]; !dup {
+		armed.Add(1)
+	}
+	seed := fp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sites[name] = &site{fp: fp, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Disable disarms the named site; unknown names are a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[name]; ok {
+		delete(sites, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(sites)))
+	sites = nil
+}
+
+// Hits reports how many times the named site has been evaluated and how
+// many of those evaluations fired, since it was armed.
+func Hits(name string) (evaluated, fired int) {
+	mu.Lock()
+	defer mu.Unlock()
+	s, ok := sites[name]
+	if !ok {
+		return 0, 0
+	}
+	return s.hits, s.fired
+}
+
+// Eval is the instrumented code's hook: it returns nil instantly when the
+// site is not armed, and otherwise applies the failpoint — sleep its
+// latency, spend a hit, and return its error. Sites are evaluated outside
+// the registry lock's critical path for latency (the sleep never holds the
+// lock), so concurrent evaluations of one site proceed independently.
+func Eval(name string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	s, ok := sites[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	s.hits++
+	if s.fp.MaxHits > 0 && s.fired >= s.fp.MaxHits {
+		mu.Unlock()
+		return nil
+	}
+	if s.fp.Prob > 0 && s.rng.Float64() >= s.fp.Prob {
+		mu.Unlock()
+		return nil
+	}
+	s.fired++
+	fp := s.fp
+	mu.Unlock()
+
+	if fp.Latency > 0 {
+		sleepf(fp.Latency)
+	}
+	if fp.ErrNone {
+		return nil
+	}
+	if fp.Err != nil {
+		return fp.Err
+	}
+	return &InjectedError{Site: name}
+}
+
+// Hook adapts a site to the func() error shape storage.Pool's fault hooks
+// take, so wiring reads faultinject.Hook("pool.fetch").
+func Hook(name string) func() error {
+	return func() error { return Eval(name) }
+}
+
+// IsTransient reports whether err (or anything it wraps) marks itself
+// transient via a Transient() bool method — the classification retry
+// loops use to separate storage hiccups worth retrying from logic errors
+// that will fail identically every attempt.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestUnarmedSiteIsFree(t *testing.T) {
+	Reset()
+	if err := Eval("nowhere"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestErrorInjectionAndHitBudget(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("s", Failpoint{MaxHits: 2})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if err := Eval("s"); err != nil {
+			fired++
+			var inj *InjectedError
+			if !errors.As(err, &inj) || inj.Site != "s" {
+				t.Fatalf("unexpected error %v", err)
+			}
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2 (MaxHits)", fired)
+	}
+	if ev, fr := Hits("s"); ev != 5 || fr != 2 {
+		t.Fatalf("Hits = (%d, %d), want (5, 2)", ev, fr)
+	}
+}
+
+func TestCustomErrorAndDisable(t *testing.T) {
+	Reset()
+	defer Reset()
+	boom := fmt.Errorf("disk on fire")
+	Enable("s", Failpoint{Err: boom})
+	if err := Eval("s"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped custom error", err)
+	}
+	Disable("s")
+	if err := Eval("s"); err != nil {
+		t.Fatalf("disabled site fired: %v", err)
+	}
+}
+
+func TestProbabilityIsDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []bool {
+		Enable("p", Failpoint{Prob: 0.5, Seed: 42})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = Eval("p") != nil
+		}
+		Disable("p")
+		return out
+	}
+	a, b := run(), run()
+	firedA := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at hit %d", i)
+		}
+		if a[i] {
+			firedA++
+		}
+	}
+	if firedA == 0 || firedA == len(a) {
+		t.Fatalf("probability 0.5 fired %d/%d times", firedA, len(a))
+	}
+}
+
+func TestLatencyOnlySite(t *testing.T) {
+	Reset()
+	defer Reset()
+	var slept time.Duration
+	old := sleepf
+	sleepf = func(d time.Duration) { slept += d }
+	defer func() { sleepf = old }()
+	Enable("slow", Failpoint{ErrNone: true, Latency: 3 * time.Millisecond})
+	if err := Eval("slow"); err != nil {
+		t.Fatalf("latency-only site returned error %v", err)
+	}
+	if slept != 3*time.Millisecond {
+		t.Fatalf("slept %v, want 3ms", slept)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	inj := &InjectedError{Site: "s"}
+	if !IsTransient(inj) {
+		t.Error("InjectedError not transient")
+	}
+	if !IsTransient(fmt.Errorf("fetch: %w", inj)) {
+		t.Error("wrapped InjectedError not transient")
+	}
+	if IsTransient(errors.New("syntax error")) {
+		t.Error("plain error transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil transient")
+	}
+}

@@ -1,0 +1,148 @@
+package sqldb
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ctxFixture builds a table big enough that the row-batch cancellation
+// checkpoints (every cancelBatch rows) fire several times per scan.
+func ctxFixture(t testing.TB, rows int) *DB {
+	t.Helper()
+	db := Open(256)
+	if _, err := db.Exec("CREATE TABLE nums (id bigint PRIMARY KEY, x real)"); err != nil {
+		t.Fatal(err)
+	}
+	data := make([][]Value, rows)
+	for i := range data {
+		data[i] = []Value{Int(int64(i)), Float(float64(i % 97))}
+	}
+	tab, _ := db.Table("nums")
+	if err := tab.BulkInsert(data); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestQueryContextCancelMidScan blocks a scan on a scalar function, cancels
+// the statement's context, then releases the scan: the next checkpoint must
+// abort the query with a context.Canceled-wrapped error instead of
+// finishing the scan.
+func TestQueryContextCancelMidScan(t *testing.T) {
+	db := ctxFixture(t, 4*cancelBatch)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	db.RegisterScalar("blocker", func(args []Value) (Value, error) {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+		return args[0], nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := db.QueryContext(ctx, "SELECT COUNT(*) FROM nums WHERE blocker(x) >= 0")
+		errc <- err
+	}()
+	<-started
+	cancel()
+	close(release)
+
+	err := <-errc
+	if err == nil {
+		t.Fatal("cancelled query finished successfully")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestQueryContextDeadline runs a deliberately slow scan under a short
+// deadline and expects context.DeadlineExceeded through the operator tree.
+func TestQueryContextDeadline(t *testing.T) {
+	db := ctxFixture(t, 8*cancelBatch)
+	db.RegisterScalar("slow", func(args []Value) (Value, error) {
+		time.Sleep(50 * time.Microsecond)
+		return args[0], nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := db.QueryContext(ctx, "SELECT COUNT(*) FROM nums WHERE slow(x) >= 0")
+	if err == nil {
+		t.Fatal("deadline-expired query finished successfully")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestExecContextCancel pins cancellation on the write path: UPDATE scans
+// observe the same checkpoints as SELECT.
+func TestExecContextCancel(t *testing.T) {
+	db := ctxFixture(t, 4*cancelBatch)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired before execution starts
+	_, err := db.ExecContext(ctx, "UPDATE nums SET x = x + 1")
+	if err == nil {
+		t.Fatal("cancelled UPDATE ran to completion")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// The table must still answer queries after the aborted write.
+	rows, err := db.Query("SELECT COUNT(*) FROM nums")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if got := rows.Row()[0].I; got != int64(4*cancelBatch) {
+		t.Fatalf("row count after aborted update = %d", got)
+	}
+}
+
+// TestQueryIterContextCancel verifies the streaming path surfaces
+// cancellation through RowIter.Err.
+func TestQueryIterContextCancel(t *testing.T) {
+	db := ctxFixture(t, 4*cancelBatch)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	it, err := db.QueryIterContext(ctx, "SELECT id, x FROM nums")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for it.Next() {
+		n++
+		if n == 10 {
+			cancel()
+		}
+	}
+	if it.Err() == nil {
+		t.Fatalf("iterator drained %d rows after cancel without error", n)
+	}
+	if !errors.Is(it.Err(), context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", it.Err())
+	}
+}
+
+// TestQueryContextBackground pins that a background context adds no
+// cancellation probe (newCancelCheck returns nil) and queries work as
+// before.
+func TestQueryContextBackground(t *testing.T) {
+	db := ctxFixture(t, cancelBatch)
+	rows, err := db.QueryContext(context.Background(), "SELECT COUNT(*) FROM nums WHERE x >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	if got := rows.Row()[0].I; got != int64(cancelBatch) {
+		t.Fatalf("count = %d", got)
+	}
+}

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -142,6 +143,28 @@ func (db *DB) CreateTableClustered(name string, cols []Column, keyCols []string)
 	return t, nil
 }
 
+// RenameTable atomically renames a catalog entry, replacing any existing
+// table under the new name. It is the commit step of the stage-and-swap
+// pattern: load a fresh table under a scratch name, then rename it over
+// the target, so readers observe either the complete old table or the
+// complete new one — never a half-loaded middle state.
+func (db *DB) RenameTable(oldName, newName string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	oldKey, newKey := strings.ToLower(oldName), strings.ToLower(newName)
+	t, ok := db.tables[oldKey]
+	if !ok {
+		return fmt.Errorf("sqldb: table %s does not exist", oldName)
+	}
+	if oldKey == newKey {
+		return nil
+	}
+	delete(db.tables, oldKey)
+	t.Name = newName
+	db.tables[newKey] = t
+	return nil
+}
+
 // DropTable removes a table from the catalog.
 func (db *DB) DropTable(name string, ifExists bool) error {
 	db.mu.Lock()
@@ -189,15 +212,23 @@ func (db *DB) tvf(name string) (*TVF, bool) {
 // returning its rows. EXPLAIN returns the physical plan as one text row
 // per line under a single "plan" column.
 func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
+	return db.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext is Query under a context: cancelling ctx (or its deadline
+// expiring) stops execution at row-batch granularity — scans, sorts, and
+// the parallel zone sweeps all observe it — and returns an error wrapping
+// ctx.Err().
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...Value) (*Rows, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return db.execSelect(s, args)
+		return db.execSelect(ctx, s, args)
 	case *ExplainStmt:
-		return db.execExplain(s, args)
+		return db.execExplain(ctx, s, args)
 	}
 	return nil, fmt.Errorf("sqldb: Query requires a SELECT statement")
 }
@@ -207,6 +238,12 @@ func (db *DB) Query(sql string, args ...Value) (*Rows, error) {
 // whole result, so a scan over millions of rows holds one row's memory.
 // The caller must Close the iterator.
 func (db *DB) QueryIter(sql string, args ...Value) (*RowIter, error) {
+	return db.QueryIterContext(context.Background(), sql, args...)
+}
+
+// QueryIterContext is QueryIter under a context; after cancellation the
+// iterator's Next returns false and Err reports the wrapped ctx.Err().
+func (db *DB) QueryIterContext(ctx context.Context, sql string, args ...Value) (*RowIter, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
@@ -215,7 +252,7 @@ func (db *DB) QueryIter(sql string, args ...Value) (*RowIter, error) {
 	if !ok {
 		return nil, fmt.Errorf("sqldb: QueryIter requires a SELECT statement")
 	}
-	op, cols, err := db.planSelect(sel, args)
+	op, cols, err := db.planSelect(ctx, sel, args)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +276,7 @@ func (db *DB) Explain(sql string, args ...Value) (string, error) {
 	default:
 		return "", fmt.Errorf("sqldb: Explain requires a SELECT statement")
 	}
-	rows, err := db.execExplain(ex, args)
+	rows, err := db.execExplain(context.Background(), ex, args)
 	if err != nil {
 		return "", err
 	}
@@ -252,8 +289,8 @@ func (db *DB) Explain(sql string, args ...Value) (string, error) {
 
 // execExplain plans (and under ANALYZE, runs) the wrapped SELECT, then
 // renders the operator tree one line per row.
-func (db *DB) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
-	op, _, err := db.planSelect(s.Query, params)
+func (db *DB) execExplain(ctx context.Context, s *ExplainStmt, params []Value) (*Rows, error) {
+	op, _, err := db.planSelect(ctx, s.Query, params)
 	if err != nil {
 		return nil, err
 	}
@@ -274,11 +311,20 @@ func (db *DB) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 // Exec parses and executes any single statement, returning the number of
 // rows affected (or returned, for SELECT).
 func (db *DB) Exec(sql string, args ...Value) (int64, error) {
+	return db.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext is Exec under a context. SELECT/EXPLAIN and the scans
+// driving INSERT...SELECT, UPDATE, and DELETE observe cancellation; DDL
+// and the final write of an already-staged batch do not (they are short
+// and atomic — interrupting them would trade a bounded delay for a
+// half-applied catalog).
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...Value) (int64, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return 0, err
 	}
-	return db.execStmt(stmt, args)
+	return db.execStmt(ctx, stmt, args)
 }
 
 // ExecScript runs a semicolon-separated sequence of statements, stopping at
@@ -289,23 +335,23 @@ func (db *DB) ExecScript(sql string, args ...Value) error {
 		return err
 	}
 	for _, s := range stmts {
-		if _, err := db.execStmt(s, args); err != nil {
+		if _, err := db.execStmt(context.Background(), s, args); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
+func (db *DB) execStmt(ctx context.Context, stmt Statement, params []Value) (int64, error) {
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		rows, err := db.execSelect(s, params)
+		rows, err := db.execSelect(ctx, s, params)
 		if err != nil {
 			return 0, err
 		}
 		return int64(rows.Len()), nil
 	case *ExplainStmt:
-		rows, err := db.execExplain(s, params)
+		rows, err := db.execExplain(ctx, s, params)
 		if err != nil {
 			return 0, err
 		}
@@ -331,11 +377,11 @@ func (db *DB) execStmt(stmt Statement, params []Value) (int64, error) {
 		n := t.NumRows()
 		return n, t.Truncate()
 	case *InsertStmt:
-		return db.execInsert(s, params)
+		return db.execInsert(ctx, s, params)
 	case *UpdateStmt:
-		return db.execUpdate(s, params)
+		return db.execUpdate(ctx, s, params)
 	case *DeleteStmt:
-		return db.execDelete(s, params)
+		return db.execDelete(ctx, s, params)
 	}
 	return 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
 }
@@ -367,7 +413,7 @@ func (db *DB) execCreateIndex(s *CreateIndexStmt) error {
 	return t.Recluster(s.Cols)
 }
 
-func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
+func (db *DB) execInsert(ctx context.Context, s *InsertStmt, params []Value) (int64, error) {
 	t, ok := db.Table(s.Table)
 	if !ok {
 		return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
@@ -410,7 +456,7 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
 	// untouched instead of half-loaded.
 	var batch [][]Value
 	if s.Query != nil {
-		rows, err := db.execSelect(s.Query, params)
+		rows, err := db.execSelect(ctx, s.Query, params)
 		if err != nil {
 			return 0, err
 		}
@@ -458,7 +504,7 @@ func (db *DB) execInsert(s *InsertStmt, params []Value) (int64, error) {
 // execUpdate rewrites the table: matching rows get their SET columns
 // re-evaluated. Key-column updates move rows, which the rewrite handles
 // naturally.
-func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int64, error) {
+func (db *DB) execUpdate(ctx context.Context, s *UpdateStmt, params []Value) (int64, error) {
 	t, ok := db.Table(s.Table)
 	if !ok {
 		return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
@@ -479,10 +525,15 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	cc := newCancelCheck(ctx)
 	var rows [][]Value
 	var n int64
 	ev := &env{schema: sch, params: params, db: db}
 	for cur.Next() {
+		if err := cc.tick(); err != nil {
+			cur.Close()
+			return 0, err
+		}
 		row := append([]Value(nil), cur.Row()...)
 		ev.row = row
 		match := true
@@ -521,7 +572,7 @@ func (db *DB) execUpdate(s *UpdateStmt, params []Value) (int64, error) {
 }
 
 // execDelete rewrites the table without the matching rows.
-func (db *DB) execDelete(s *DeleteStmt, params []Value) (int64, error) {
+func (db *DB) execDelete(ctx context.Context, s *DeleteStmt, params []Value) (int64, error) {
 	t, ok := db.Table(s.Table)
 	if !ok {
 		return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
@@ -534,10 +585,15 @@ func (db *DB) execDelete(s *DeleteStmt, params []Value) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	cc := newCancelCheck(ctx)
 	var keep [][]Value
 	var n int64
 	ev := &env{schema: sch, params: params, db: db}
 	for cur.Next() {
+		if err := cc.tick(); err != nil {
+			cur.Close()
+			return 0, err
+		}
 		row := append([]Value(nil), cur.Row()...)
 		match := true
 		if s.Where != nil {

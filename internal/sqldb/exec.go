@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -37,8 +38,8 @@ func (r *Rows) Len() int { return len(r.data) }
 func (r *Rows) All() [][]Value { return r.data }
 
 // execSelect runs a SELECT and materialises the result.
-func (db *DB) execSelect(stmt *SelectStmt, params []Value) (*Rows, error) {
-	op, columns, err := db.planSelect(stmt, params)
+func (db *DB) execSelect(ctx context.Context, stmt *SelectStmt, params []Value) (*Rows, error) {
+	op, columns, err := db.planSelect(ctx, stmt, params)
 	if err != nil {
 		return nil, err
 	}

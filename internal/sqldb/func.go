@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -30,7 +31,11 @@ type TVF struct {
 	// (the consumer copies); per probe, rows must arrive in exactly the
 	// order Fn would return them, so the batched and per-row plans are
 	// bit-identical. Optional; nil keeps the per-row lateral plan.
-	Batch func(probes [][]Value, emit func(probe int, row []Value)) error
+	//
+	// ctx is the executing statement's context: implementations that fan
+	// out (the parallel zone sweeps) must observe it so a cancelled query
+	// stops consuming CPU mid-sweep.
+	Batch func(ctx context.Context, probes [][]Value, emit func(probe int, row []Value)) error
 
 	// Source optionally names the table the TVF reads, letting EXPLAIN
 	// show the physical access path (ColumnarScan when a column-major

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,6 +33,63 @@ import (
 // planSelect), return a new physOp implementing next/close/describe, and
 // gate it behind a PlannerKnobs field so equivalence tests can pin the
 // before/after plans against each other.
+
+// cancelCheck is one statement's shared cancellation probe. Row-producing
+// operators tick it per row; every cancelBatch ticks the probe actually
+// polls ctx.Err, so cancellation lands at row-batch granularity without a
+// per-row atomic in the hot scan loops (a plan executes on one goroutine,
+// so the counter needs no synchronisation). A nil *cancelCheck is inert,
+// keeping plans built without a context free of even the counter.
+type cancelCheck struct {
+	ctx context.Context
+	n   uint
+}
+
+// cancelBatch is how many rows flow between ctx.Err polls. Small enough
+// that a cancelled scan over a big table stops within microseconds, large
+// enough that the poll vanishes against per-row decode work.
+const cancelBatch = 256
+
+// newCancelCheck returns the statement's probe, or nil for background
+// contexts where cancellation can never fire.
+func newCancelCheck(ctx context.Context) *cancelCheck {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &cancelCheck{ctx: ctx}
+}
+
+// tick counts one row and polls the context every cancelBatch rows.
+func (c *cancelCheck) tick() error {
+	if c == nil {
+		return nil
+	}
+	c.n++
+	if c.n%cancelBatch != 0 {
+		return nil
+	}
+	return c.poll()
+}
+
+// poll reports the statement's cancellation state immediately.
+func (c *cancelCheck) poll() error {
+	if c == nil {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("sqldb: query interrupted: %w", err)
+	}
+	return nil
+}
+
+// execCtx returns the context operators hand to cooperating subsystems
+// (TVF.Batch and its parallel sweeps).
+func (c *cancelCheck) execCtx() context.Context {
+	if c == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
 
 // opStats carries the row-count bookkeeping every operator shares.
 // est is the planner's estimate (-1 when unknown); actual counts rows the
@@ -146,12 +204,16 @@ type seqScanOp struct {
 	st      opStats
 	t       *Table
 	alias   string
+	cc      *cancelCheck
 	cur     *TableCursor
 	started bool
 }
 
 func (o *seqScanOp) next() ([]Value, error) {
 	o.st.ran = true
+	if err := o.cc.tick(); err != nil {
+		return nil, err
+	}
 	if !o.started {
 		o.started = true
 		cur, err := o.t.Scan()
@@ -184,12 +246,16 @@ type rangeScanOp struct {
 	t       *Table
 	alias   string
 	lo, hi  Value
+	cc      *cancelCheck
 	cur     *TableCursor
 	started bool
 }
 
 func (o *rangeScanOp) next() ([]Value, error) {
 	o.st.ran = true
+	if err := o.cc.tick(); err != nil {
+		return nil, err
+	}
 	if !o.started {
 		o.started = true
 		cur, err := o.t.RangeScan(o.lo, o.hi)
@@ -242,6 +308,7 @@ type columnarScanOp struct {
 	ct     *colstore.Table
 	alias  string
 	needed []bool // table columns to materialise; nil = all
+	cc     *cancelCheck
 	segs   []colstore.SegmentMeta
 	scan   *colstore.Scanner
 	row    []Value // scratch, reused per emitted row
@@ -298,6 +365,9 @@ func boundAsFloat(v Value) (float64, bool) {
 
 func (o *columnarScanOp) next() ([]Value, error) {
 	o.st.ran = true
+	if err := o.cc.tick(); err != nil {
+		return nil, err
+	}
 	for {
 		if o.scan == nil {
 			o.scan = o.ct.NewScanner()
@@ -534,6 +604,7 @@ type zoneSweepJoinOp struct {
 	alias   string
 	args    []Expr
 	on      Expr
+	cc      *cancelCheck
 	evLeft  *env
 	evBoth  *env
 	started bool
@@ -571,7 +642,7 @@ func (o *zoneSweepJoinOp) next() ([]Value, error) {
 		// the call, so the values copy here, once).
 		o.hits = make([][]Value, len(lrows))
 		if len(probes) > 0 {
-			err = o.tvf.Batch(probes, func(pi int, row []Value) {
+			err = o.tvf.Batch(o.cc.execCtx(), probes, func(pi int, row []Value) {
 				o.hits[pi] = append(o.hits[pi], row...)
 			})
 			if err != nil {
@@ -581,6 +652,9 @@ func (o *zoneSweepJoinOp) next() ([]Value, error) {
 	}
 	w := len(o.tvf.Cols)
 	for {
+		if err := o.cc.tick(); err != nil {
+			return nil, err
+		}
 		if o.li >= len(o.lrows) {
 			return nil, nil
 		}
@@ -1107,6 +1181,7 @@ type sortOp struct {
 	src     physOp
 	order   []OrderItem
 	visible int
+	cc      *cancelCheck
 	started bool
 	rows    [][]Value
 	i       int
@@ -1114,12 +1189,20 @@ type sortOp struct {
 
 func (o *sortOp) next() ([]Value, error) {
 	o.st.ran = true
+	if err := o.cc.tick(); err != nil {
+		return nil, err
+	}
 	if !o.started {
 		o.started = true
 		// The source is always a Project or Aggregate, whose rows are
 		// caller-owned: retain without copying.
 		rows, err := drainOwned(o.src)
 		if err != nil {
+			return nil, err
+		}
+		// One poll between the drain and the sort: a statement cancelled
+		// during the (uninterruptible) sort stops before emitting.
+		if err := o.cc.poll(); err != nil {
 			return nil, err
 		}
 		sort.SliceStable(rows, func(a, b int) bool {
@@ -1252,14 +1335,18 @@ func (db *DB) plannerKnobs() PlannerKnobs {
 }
 
 // planSelect compiles a SELECT into its physical operator tree and output
-// column names. Construction performs no I/O; the first next() does.
-func (db *DB) planSelect(stmt *SelectStmt, params []Value) (physOp, []string, error) {
+// column names. Construction performs no I/O; the first next() does. The
+// context threads into every row-producing operator (and through
+// TVF.Batch into the parallel sweeps), so cancelling it stops the
+// statement at row-batch granularity.
+func (db *DB) planSelect(ctx context.Context, stmt *SelectStmt, params []Value) (physOp, []string, error) {
 	lp, err := db.buildLogical(stmt, params)
 	if err != nil {
 		return nil, nil, err
 	}
 	knobs := db.plannerKnobs()
-	op, err := db.lowerSource(lp.source, params, knobs)
+	cc := newCancelCheck(ctx)
+	op, err := db.lowerSource(lp.source, params, knobs, cc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1300,7 +1387,7 @@ func (db *DB) planSelect(stmt *SelectStmt, params []Value) (physOp, []string, er
 		}
 	}
 	if len(stmt.OrderBy) > 0 {
-		op = &sortOp{st: opStats{est: childEst(op)}, src: op, order: stmt.OrderBy, visible: len(lp.items)}
+		op = &sortOp{st: opStats{est: childEst(op)}, src: op, order: stmt.OrderBy, visible: len(lp.items), cc: cc}
 	}
 	if stmt.Distinct {
 		op = &distinctOp{st: opStats{est: -1}, src: op}
@@ -1338,33 +1425,35 @@ func pureColumnIndexes(items []projItem, order []OrderItem) []int {
 
 // lowerSource turns the bound FROM tree into physical operators, applying
 // the access-path and join rules.
-func (db *DB) lowerSource(n logNode, params []Value, knobs PlannerKnobs) (physOp, error) {
+func (db *DB) lowerSource(n logNode, params []Value, knobs PlannerKnobs, cc *cancelCheck) (physOp, error) {
 	switch x := n.(type) {
 	case *logValues:
 		return &valuesOp{st: opStats{est: 1}, rows: [][]Value{{}}}, nil
 	case *logScan:
 		if !knobs.NoColumnarScan {
 			if ct := x.t.Columnar(); projectionCovers(x.t, ct) {
-				return newColumnarScan(x.t, ct, x.alias, x.lo, x.hi, x.needed), nil
+				op := newColumnarScan(x.t, ct, x.alias, x.lo, x.hi, x.needed)
+				op.cc = cc
+				return op, nil
 			}
 		}
 		if x.lo.IsNull() && x.hi.IsNull() {
-			return &seqScanOp{st: opStats{est: x.t.NumRows()}, t: x.t, alias: x.alias}, nil
+			return &seqScanOp{st: opStats{est: x.t.NumRows()}, t: x.t, alias: x.alias, cc: cc}, nil
 		}
 		// No histograms: the bounded row count is unknown, and printing the
 		// full table count against a range scan would misread in EXPLAIN.
-		return &rangeScanOp{st: opStats{est: -1}, t: x.t, alias: x.alias, lo: x.lo, hi: x.hi}, nil
+		return &rangeScanOp{st: opStats{est: -1}, t: x.t, alias: x.alias, lo: x.lo, hi: x.hi, cc: cc}, nil
 	case *logTVF:
 		// Non-lateral: constant arguments, evaluated once at first next.
 		return &tvfScanOp{st: opStats{est: -1}, db: db, tvf: x.tvf, name: x.name, alias: x.alias, args: x.args, params: params}, nil
 	case *logJoin:
-		return db.lowerJoin(x, params, knobs)
+		return db.lowerJoin(x, params, knobs, cc)
 	}
 	return nil, fmt.Errorf("sqldb: cannot lower %T", n)
 }
 
-func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs) (physOp, error) {
-	left, err := db.lowerSource(j.left, params, knobs)
+func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs, cc *cancelCheck) (physOp, error) {
+	left, err := db.lowerSource(j.left, params, knobs, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -1379,7 +1468,7 @@ func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs) (physOp,
 			return &zoneSweepJoinOp{
 				st: opStats{est: -1}, left: left, access: sweepAccessPath(tvf.tvf.Source),
 				tvf: tvf.tvf, name: tvf.name, alias: tvf.alias, args: args, on: on,
-				evLeft: evLeft, evBoth: evBoth,
+				cc: cc, evLeft: evLeft, evBoth: evBoth,
 			}, nil
 		}
 		return &tvfApplyOp{
@@ -1388,7 +1477,7 @@ func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs) (physOp,
 			evLeft: evLeft, evBoth: evBoth,
 		}, nil
 	}
-	right, err := db.lowerSource(j.right, params, knobs)
+	right, err := db.lowerSource(j.right, params, knobs, cc)
 	if err != nil {
 		left.close()
 		return nil, err

@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats counts buffer-pool activity. LogicalReads counts every page fetch;
@@ -42,6 +43,17 @@ type frame struct {
 	used  bool // clock reference bit
 }
 
+// FaultHooks intercepts the pool's interactions with its store for fault
+// injection: Fetch runs at the top of every Get and Alloc at the top of
+// every New. A non-nil error aborts the operation with that error; the
+// hook may also just sleep to model a slow device. Hooks run before the
+// pool's mutex is taken, so injected latency stalls only the calling
+// query, not every pool client.
+type FaultHooks struct {
+	Fetch func() error
+	Alloc func() error
+}
+
 // Pool is a pinning buffer pool with clock eviction over a Store.
 // It is safe for concurrent use.
 type Pool struct {
@@ -51,6 +63,7 @@ type Pool struct {
 	index  map[PageID]int
 	hand   int
 	stats  Stats
+	hooks  atomic.Pointer[FaultHooks]
 }
 
 // NewPool creates a pool with the given number of frames (minimum 8).
@@ -93,8 +106,18 @@ type Handle struct {
 	idx  int
 }
 
+// SetFaultHooks installs (or, with nil, removes) the pool's fault-
+// injection hooks. Safe to call while the pool is in use; in-flight
+// operations keep the hooks they observed at entry.
+func (p *Pool) SetFaultHooks(h *FaultHooks) { p.hooks.Store(h) }
+
 // Get pins the page, reading it from the store on a miss.
 func (p *Pool) Get(id PageID) (*Handle, error) {
+	if h := p.hooks.Load(); h != nil && h.Fetch != nil {
+		if err := h.Fetch(); err != nil {
+			return nil, fmt.Errorf("storage: page %d fetch: %w", id, err)
+		}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.LogicalReads++
@@ -123,6 +146,11 @@ func (p *Pool) Get(id PageID) (*Handle, error) {
 
 // New allocates a fresh page in the store and pins it zero-filled.
 func (p *Pool) New() (*Handle, error) {
+	if h := p.hooks.Load(); h != nil && h.Alloc != nil {
+		if err := h.Alloc(); err != nil {
+			return nil, fmt.Errorf("storage: page alloc: %w", err)
+		}
+	}
 	id, err := p.store.Allocate()
 	if err != nil {
 		return nil, err

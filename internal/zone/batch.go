@@ -1,7 +1,9 @@
 package zone
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -122,11 +124,25 @@ func (s *rowSweeper) close() {
 // of different probes interleave. Probes with negative radius match
 // nothing, like SearchTable.
 func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
+	return BatchSearchContext(context.Background(), t, heightDeg, probes, fn)
+}
+
+// BatchSearchContext is BatchSearch under a context: the sweep polls ctx
+// between zones and stops with an error wrapping ctx.Err() once it is
+// cancelled or past its deadline, so an abandoned query stops consuming
+// CPU and pool pins mid-sweep.
+func BatchSearchContext(ctx context.Context, t *sqldb.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
 	if len(probes) == 0 {
 		return nil
 	}
 	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepSequential(&rowSweeper{t: t}, ws, centers, r2s, fn)
+	return sweepSequential(ctx, &rowSweeper{t: t}, ws, centers, r2s, fn)
+}
+
+// sweepInterrupted wraps a context failure so callers can errors.Is it
+// against context.Canceled / context.DeadlineExceeded.
+func sweepInterrupted(ctx context.Context) error {
+	return fmt.Errorf("zone: sweep interrupted: %w", ctx.Err())
 }
 
 // zoneEnd returns the end of the same-zone window run beginning at ws[i]:
@@ -144,9 +160,13 @@ func zoneEnd(ws []batchWindow, i int) int {
 // windows in order: the back half of BatchSearch and
 // BatchSearchColumnar, and the fallback when a probe set collapses to too
 // few zones to parallelise.
-func sweepSequential(sw zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) error {
+func sweepSequential(ctx context.Context, sw zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) error {
 	defer sw.close()
+	poll := ctx.Done() != nil
 	for i := 0; i < len(ws); {
+		if poll && ctx.Err() != nil {
+			return sweepInterrupted(ctx)
+		}
 		j := zoneEnd(ws, i)
 		if err := sw.sweepZone(ws[i:j], centers, r2s, fn); err != nil {
 			return err
@@ -204,27 +224,35 @@ func (s *SweepStats) WorkerCPU() time.Duration {
 // scheduling, so callers must discard partial results on error (all
 // current callers do).
 func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, workers int, fn func(probe int, zr ZoneRow)) error {
-	return ParallelBatchSearchStats(t, heightDeg, probes, workers, nil, fn)
+	return ParallelBatchSearchContext(context.Background(), t, heightDeg, probes, workers, nil, fn)
 }
 
 // ParallelBatchSearchStats is ParallelBatchSearch accumulating worker-pool
 // measurements into stats (which may be nil).
 func ParallelBatchSearchStats(t *sqldb.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
+	return ParallelBatchSearchContext(context.Background(), t, heightDeg, probes, workers, stats, fn)
+}
+
+// ParallelBatchSearchContext is ParallelBatchSearch under a context:
+// every worker polls ctx before claiming its next zone, so cancelling a
+// query stops the whole pool within the zones already in flight. stats
+// may be nil.
+func ParallelBatchSearchContext(ctx context.Context, t *sqldb.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(probes) == 0 {
-		return BatchSearch(t, heightDeg, probes, fn)
+		return BatchSearchContext(ctx, t, heightDeg, probes, fn)
 	}
 	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepParallel(func() zoneSweeper { return &rowSweeper{t: t} },
+	return sweepParallel(ctx, func() zoneSweeper { return &rowSweeper{t: t} },
 		ws, centers, r2s, workers, stats, fn)
 }
 
 // sweepParallel runs the zone-grouped windows on a worker pool, one
 // sweeper per worker (newSweeper is called on the worker's goroutine).
 // See ParallelBatchSearch for the output contract this implements.
-func sweepParallel(newSweeper func() zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64,
+func sweepParallel(ctx context.Context, newSweeper func() zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64,
 	workers int, stats *SweepStats, fn func(int, ZoneRow)) error {
 	// Group the windows by zone: groups[g] = ws[starts[g]:starts[g+1]].
 	var starts []int
@@ -234,8 +262,9 @@ func sweepParallel(newSweeper func() zoneSweeper, ws []batchWindow, centers []as
 	starts = append(starts, len(ws))
 	groups := len(starts) - 1
 	if groups <= 1 {
-		return sweepSequential(newSweeper(), ws, centers, r2s, fn)
+		return sweepSequential(ctx, newSweeper(), ws, centers, r2s, fn)
 	}
+	poll := ctx.Done() != nil
 	if workers > groups {
 		workers = groups
 	}
@@ -281,7 +310,12 @@ func sweepParallel(newSweeper func() zoneSweeper, ws []batchWindow, centers []as
 					<-tokens // nothing claimed; hand the token back
 					return
 				}
-				if atomic.LoadInt32(&stop) == 0 {
+				if atomic.LoadInt32(&stop) == 0 && poll && ctx.Err() != nil {
+					// The query is gone: fail this group so emission halts
+					// and every worker sees stop on its next claim.
+					errs[g] = sweepInterrupted(ctx)
+					atomic.StoreInt32(&stop, 1)
+				} else if atomic.LoadInt32(&stop) == 0 {
 					buf := bufs.Get().(*[]batchHit)
 					*buf = (*buf)[:0]
 					errs[g] = sw.sweepZone(ws[starts[g]:starts[g+1]], centers, r2s,

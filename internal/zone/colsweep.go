@@ -1,6 +1,7 @@
 package zone
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -163,6 +164,12 @@ scan:
 // same probes, the same hits in the same order (bit-identical to the row
 // sweep), with the chord test iterating raw float slices.
 func BatchSearchColumnar(ct *colstore.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
+	return BatchSearchColumnarContext(context.Background(), ct, heightDeg, probes, fn)
+}
+
+// BatchSearchColumnarContext is BatchSearchColumnar under a context; see
+// BatchSearchContext for the cancellation contract.
+func BatchSearchColumnarContext(ctx context.Context, ct *colstore.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
 	if err := checkColumnarZone(ct); err != nil {
 		return err
 	}
@@ -170,29 +177,36 @@ func BatchSearchColumnar(ct *colstore.Table, heightDeg float64, probes []Probe, 
 		return nil
 	}
 	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepSequential(&colSweeper{t: ct}, ws, centers, r2s, fn)
+	return sweepSequential(ctx, &colSweeper{t: ct}, ws, centers, r2s, fn)
 }
 
 // ParallelBatchSearchColumnar is ParallelBatchSearch over the column-major
 // zone store: same worker-pool orchestration, same bit-identical output
 // contract at every worker count.
 func ParallelBatchSearchColumnar(ct *colstore.Table, heightDeg float64, probes []Probe, workers int, fn func(probe int, zr ZoneRow)) error {
-	return ParallelBatchSearchColumnarStats(ct, heightDeg, probes, workers, nil, fn)
+	return ParallelBatchSearchColumnarContext(context.Background(), ct, heightDeg, probes, workers, nil, fn)
 }
 
 // ParallelBatchSearchColumnarStats is ParallelBatchSearchColumnar
 // accumulating worker-pool measurements into stats (which may be nil).
 func ParallelBatchSearchColumnarStats(ct *colstore.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
+	return ParallelBatchSearchColumnarContext(context.Background(), ct, heightDeg, probes, workers, stats, fn)
+}
+
+// ParallelBatchSearchColumnarContext is ParallelBatchSearchColumnar under
+// a context; see ParallelBatchSearchContext for the cancellation
+// contract. stats may be nil.
+func ParallelBatchSearchColumnarContext(ctx context.Context, ct *colstore.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(probes) == 0 {
-		return BatchSearchColumnar(ct, heightDeg, probes, fn)
+		return BatchSearchColumnarContext(ctx, ct, heightDeg, probes, fn)
 	}
 	if err := checkColumnarZone(ct); err != nil {
 		return err
 	}
 	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepParallel(func() zoneSweeper { return &colSweeper{t: ct} },
+	return sweepParallel(ctx, func() zoneSweeper { return &colSweeper{t: ct} },
 		ws, centers, r2s, workers, stats, fn)
 }

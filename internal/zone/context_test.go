@@ -1,0 +1,136 @@
+package zone
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/sqldb"
+)
+
+// TestBatchSearchContextPreCancelled pins that an already-cancelled
+// context stops a sequential sweep before it visits any zone.
+func TestBatchSearchContextPreCancelled(t *testing.T) {
+	gals, height, probes := parallelFixture(t)
+	db := sqldb.Open(0)
+	zt, err := InstallZoneTable(db, "Zone", gals, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hits := 0
+	err = BatchSearchContext(ctx, zt, height, probes, func(int, ZoneRow) { hits++ })
+	if err == nil {
+		t.Fatal("cancelled sweep completed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if hits != 0 {
+		t.Fatalf("cancelled sweep still emitted %d rows", hits)
+	}
+}
+
+// TestBatchSearchContextCancelMidSweep cancels from inside the emit
+// callback: the sweep must stop at the next per-zone checkpoint instead of
+// visiting the rest of the windows.
+func TestBatchSearchContextCancelMidSweep(t *testing.T) {
+	gals, height, probes := parallelFixture(t)
+	db := sqldb.Open(0)
+	zt, err := InstallZoneTable(db, "Zone", gals, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var total int
+	if err := BatchSearch(zt, height, probes, func(int, ZoneRow) { total++ }); err != nil {
+		t.Fatal(err)
+	}
+	if total < 2 {
+		t.Fatalf("fixture too small: %d hits", total)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	hits := 0
+	err = BatchSearchContext(ctx, zt, height, probes, func(int, ZoneRow) {
+		hits++
+		if hits == 1 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("sweep ran to completion after cancel")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	if hits >= total {
+		t.Fatalf("sweep emitted all %d rows despite cancellation", total)
+	}
+}
+
+// TestParallelBatchSearchContextCancelled pins that the worker pool
+// observes cancellation: a cancelled context aborts the parallel sweep
+// (workers stop claiming zone groups) for both the row and columnar paths.
+func TestParallelBatchSearchContextCancelled(t *testing.T) {
+	gals, height, probes := parallelFixture(t)
+	db := sqldb.Open(0)
+	zt, err := InstallZoneTableColumnar(db, "Zone", gals, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	err = ParallelBatchSearchContext(ctx, zt, height, probes, 4, nil, func(int, ZoneRow) {})
+	if err == nil {
+		t.Fatal("cancelled parallel sweep completed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("row sweep error %v does not wrap context.Canceled", err)
+	}
+
+	ct := zt.Columnar()
+	if ct == nil {
+		t.Fatal("fixture zone table has no columnar projection")
+	}
+	err = ParallelBatchSearchColumnarContext(ctx, ct, height, probes, 4, nil, func(int, ZoneRow) {})
+	if err == nil {
+		t.Fatal("cancelled columnar parallel sweep completed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("columnar sweep error %v does not wrap context.Canceled", err)
+	}
+}
+
+// TestParallelBatchSearchContextClean pins that a live context changes
+// nothing: the parallel sweep still emits the exact sequential sequence.
+func TestParallelBatchSearchContextClean(t *testing.T) {
+	gals, height, probes := parallelFixture(t)
+	db := sqldb.Open(0)
+	zt, err := InstallZoneTable(db, "Zone", gals, height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got []seqCall
+	if err := BatchSearch(zt, height, probes, func(pi int, zr ZoneRow) {
+		want = append(want, seqCall{probe: pi, row: zr})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ParallelBatchSearchContext(ctx, zt, height, probes, 4, nil, func(pi int, zr ZoneRow) {
+		got = append(got, seqCall{probe: pi, row: zr})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("context sweep emitted %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d differs under context", i)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package zone
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/astro"
@@ -259,7 +260,7 @@ func RegisterNearbyTVFWorkers(db *sqldb.DB, zoneTable *sqldb.Table, heightDeg fl
 			})
 			return rows, err
 		},
-		Batch: func(probes [][]sqldb.Value, emit func(int, []sqldb.Value)) error {
+		Batch: func(ctx context.Context, probes [][]sqldb.Value, emit func(int, []sqldb.Value)) error {
 			ps := make([]Probe, len(probes))
 			for i, args := range probes {
 				ra, dec, r, err := parseArgs(args)
@@ -279,9 +280,9 @@ func RegisterNearbyTVFWorkers(db *sqldb.DB, zoneTable *sqldb.Table, heightDeg fl
 				emit(pi, scratch)
 			}
 			if ct := zoneTable.Columnar(); ct != nil {
-				return ParallelBatchSearchColumnar(ct, heightDeg, ps, workers, fn)
+				return ParallelBatchSearchColumnarContext(ctx, ct, heightDeg, ps, workers, nil, fn)
 			}
-			return ParallelBatchSearch(zoneTable, heightDeg, ps, workers, fn)
+			return ParallelBatchSearchContext(ctx, zoneTable, heightDeg, ps, workers, nil, fn)
 		},
 		Source: zoneTable,
 	})
