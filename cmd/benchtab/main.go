@@ -40,8 +40,9 @@ var (
 	// (intra-node workers would saturate the cores Figure 6 varies node
 	// counts over). Opt into the parallel sweep explicitly; worker CPU
 	// is attributed either way (zone.SweepStats).
-	workFlag = flag.Int("workers", 1, "zone-sweep workers per node (1 = sequential, the reproduction default; 0 = one per CPU)")
-	colFlag  = flag.Bool("columnar", true, "sweep the column-major zone store (false = row-store ablation)")
+	workFlag  = flag.Int("workers", 1, "zone-sweep workers per node (1 = sequential, the reproduction default; 0 = one per CPU)")
+	colFlag   = flag.Bool("columnar", true, "sweep the column-major zone store (false = row-store ablation)")
+	shardFlag = flag.Int("pool-shards", 0, "buffer pool shards per database (0 = one per CPU)")
 )
 
 // storeMode maps -columnar onto the DBFinder knob.
@@ -115,12 +116,12 @@ func run(exp string) error {
 
 func (h *harness) table1() error {
 	fmt.Println("== Table 1: SQL Server cluster performance, no partitioning and 3-way ==")
-	cfgSeq := cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag, Store: storeMode()}
+	cfgSeq := cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag, Store: storeMode(), PoolShards: *shardFlag}
 	seq, err := cluster.Run(h.cat, h.target, cfgSeq)
 	if err != nil {
 		return err
 	}
-	cfgPar := cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode()}
+	cfgPar := cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode(), PoolShards: *shardFlag}
 	par, err := cluster.Run(h.cat, h.target, cfgPar)
 	if err != nil {
 		return err
@@ -192,12 +193,12 @@ func (h *harness) table3() error {
 	scaledTAM := tamElapsed * sf.Work
 
 	// Measure the SQL implementation (1 node, then 3 nodes).
-	seq, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag, Store: storeMode()})
+	seq, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 1, Params: maxbcg.DefaultParams(), Sequential: true, Workers: *workFlag, Store: storeMode(), PoolShards: *shardFlag})
 	if err != nil {
 		return err
 	}
 	sql1 := seq.Nodes[0].Report.Total().Elapsed.Seconds()
-	par, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode()})
+	par, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: 3, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode(), PoolShards: *shardFlag})
 	if err != nil {
 		return err
 	}
@@ -311,7 +312,7 @@ func (h *harness) figure2() error {
 
 func (h *harness) figure3() error {
 	fmt.Println("== Figure 3: 5-parameter selection from the Galaxy table ==")
-	db := sqldb.Open(0)
+	db := sqldb.OpenPool(sqldb.PoolConfig{Shards: *shardFlag})
 	f, err := maxbcg.NewDBFinder(db, maxbcg.DefaultParams(), h.cat.Kcorr, 0)
 	if err != nil {
 		return err
@@ -446,7 +447,7 @@ func (h *harness) figure6() error {
 	fmt.Printf("  %-7s %12s %10s %14s\n", "nodes", "elapsed", "speedup", "dup area deg2")
 	var base float64
 	for _, n := range []int{1, 2, 3, 4} {
-		res, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: n, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode()})
+		res, err := cluster.Run(h.cat, h.target, cluster.Config{Nodes: n, Params: maxbcg.DefaultParams(), Workers: *workFlag, Store: storeMode(), PoolShards: *shardFlag})
 		if err != nil {
 			return err
 		}

@@ -49,6 +49,7 @@ func main() {
 		maxQueue     = flag.Int("max-queue", 256, "max waiting jobs per queue (beyond: 503)")
 		userQPS      = flag.Float64("user-qps", 0, "per-user sustained submissions/sec (0 = unlimited; beyond: 429)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on SIGINT/SIGTERM")
+		poolShards   = flag.Int("pool-shards", 0, "buffer pool shards per database (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -56,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("casjobsd: %v", err)
 	}
-	cas := sqldb.Open(0)
+	cas := sqldb.OpenPool(sqldb.PoolConfig{Shards: *poolShards})
 	finder, err := maxbcg.NewDBFinder(cas, maxbcg.DefaultParams(), cat.Kcorr, 0)
 	if err != nil {
 		log.Fatalf("casjobsd: %v", err)
@@ -78,6 +79,7 @@ func main() {
 		MaxQueue:     *maxQueue,
 		UserQPS:      *userQPS,
 	})
+	srv.MyDBShards = *poolShards
 
 	httpSrv := &http.Server{
 		Addr:         *addr,

@@ -33,6 +33,7 @@ func main() {
 		impl     = flag.String("impl", "memory", "implementation: memory, db, tam, cluster")
 		nodes    = flag.Int("nodes", 3, "node count for -impl cluster")
 		workers  = flag.Int("workers", 0, "zone-sweep workers per node (0 = one per CPU, 1 = sequential)")
+		shards   = flag.Int("pool-shards", 0, "buffer pool shards per database (0 = one per CPU)")
 		columnar = flag.Bool("columnar", true, "sweep the column-major zone store (false = row-store ablation)")
 		minRa    = flag.Float64("minra", 194.9, "target min ra")
 		maxRa    = flag.Float64("maxra", 195.4, "target max ra")
@@ -69,7 +70,7 @@ func main() {
 			fatal(err)
 		}
 	case "db":
-		db := sqldb.Open(0)
+		db := sqldb.OpenPool(sqldb.PoolConfig{Shards: *shards})
 		finder, err := maxbcg.NewDBFinder(db, params, cat.Kcorr, 0)
 		if err != nil {
 			fatal(err)
@@ -105,7 +106,7 @@ func main() {
 	case "cluster":
 		out, err := cluster.Run(cat, target, cluster.Config{
 			Nodes: *nodes, Params: params, IncludeMembers: true,
-			Workers: *workers, Store: store,
+			Workers: *workers, Store: store, PoolShards: *shards,
 		})
 		if err != nil {
 			fatal(err)

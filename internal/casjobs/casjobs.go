@@ -305,8 +305,10 @@ type Server struct {
 	long  *jobQueue
 	wg    sync.WaitGroup
 
-	// MyDBFrames sizes each user's buffer pool.
+	// MyDBFrames sizes each user's buffer pool; MyDBShards sets its shard
+	// count (0 = one per CPU).
 	MyDBFrames int
+	MyDBShards int
 
 	// now is swapped in tests to drive the token bucket deterministically.
 	now func() time.Time
@@ -442,7 +444,7 @@ func (s *Server) CreateUser(name string) error {
 	}
 	s.users[key] = &user{
 		name:       name,
-		mydb:       sqldb.Open(s.MyDBFrames),
+		mydb:       sqldb.OpenPool(sqldb.PoolConfig{Frames: s.MyDBFrames, Shards: s.MyDBShards}),
 		tokens:     float64(s.cfg.UserBurst),
 		lastRefill: s.now(),
 	}

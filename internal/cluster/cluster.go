@@ -9,13 +9,14 @@
 // This is the coarse, shared-nothing level of the engine's parallelism:
 // each node gets a private database (store, buffer pool, tables).
 // Config.Workers additionally sizes each node's intra-node worker pool
-// for the batched zone sweeps (zone.ParallelBatchSearch); both levels
+// for the batched zone sweeps (zone.Sweep); both levels
 // preserve bit-identical output. See ARCHITECTURE.md, "Concurrency
 // model".
 package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -96,6 +97,7 @@ type Config struct {
 	Kcorr      *sky.Kcorr
 	ZoneHeight float64 // 0 = paper default
 	PoolFrames int     // per-node buffer pool frames (0 = default)
+	PoolShards int     // per-node buffer pool shards (0 = GOMAXPROCS)
 	// Mode selects each node's neighbour-search access path: the batched
 	// zone join (default) or the per-probe ablation baseline.
 	Mode maxbcg.SearchMode
@@ -106,10 +108,18 @@ type Config struct {
 	// read: the column-major projection (default) or the row-major
 	// B+tree ablation baseline. Output is bit-identical either way.
 	Store maxbcg.ZoneStore
-	// Workers is each node's zone-sweep worker-pool size: 0 = one worker
-	// per CPU, 1 = the sequential sweep (ablation baseline). Every
-	// setting produces bit-identical output.
+	// Workers is each node's zone-sweep worker-pool size: 0 = divide
+	// WorkerBudget across the nodes, 1 = the sequential sweep (ablation
+	// baseline). Every setting produces bit-identical output.
 	Workers int
+	// WorkerBudget caps the sweep workers the whole cluster may run at
+	// once when the nodes run concurrently and Workers is 0: each node
+	// gets max(1, budget/nodes) workers instead of a full GOMAXPROCS
+	// pool each, so n simulated servers sharing one box stop
+	// oversubscribing it n-fold. 0 = GOMAXPROCS. Ignored when Workers
+	// is set explicitly or the nodes run sequentially (a sequential
+	// node has the whole budget to itself).
+	WorkerBudget int
 	// Sequential forces the partitions to run one after another; used to
 	// attribute CPU cleanly when measuring.
 	Sequential bool
@@ -129,9 +139,26 @@ func Run(cat *sky.Catalog, target astro.Box, cfg Config) (*Result, error) {
 	}
 	res := &Result{Nodes: make([]NodeResult, len(parts))}
 
+	// Process-wide worker budget: when the nodes run concurrently and no
+	// explicit per-node pool size is set, split the budget evenly instead
+	// of letting every node spin up GOMAXPROCS workers on the same box.
+	// The division is deterministic and workers never change output, so
+	// results stay bit-identical to any other setting.
+	workers := cfg.Workers
+	if workers == 0 && !cfg.Sequential && len(parts) > 1 {
+		budget := cfg.WorkerBudget
+		if budget <= 0 {
+			budget = runtime.GOMAXPROCS(0)
+		}
+		workers = budget / len(parts)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+
 	runNode := func(i int) error {
 		part := parts[i]
-		db := sqldb.Open(cfg.PoolFrames)
+		db := sqldb.OpenPool(sqldb.PoolConfig{Frames: cfg.PoolFrames, Shards: cfg.PoolShards})
 		finder, err := maxbcg.NewDBFinder(db, cfg.Params, cfg.Kcorr, cfg.ZoneHeight)
 		if err != nil {
 			return err
@@ -139,7 +166,7 @@ func Run(cat *sky.Catalog, target astro.Box, cfg Config) (*Result, error) {
 		finder.Mode = cfg.Mode
 		finder.Ingest = cfg.Ingest
 		finder.Store = cfg.Store
-		finder.Workers = cfg.Workers
+		finder.Workers = workers
 		if _, err := finder.ImportGalaxies(cat, part.Import); err != nil {
 			return err
 		}

@@ -139,8 +139,9 @@ func (t *Table) GroupSegments(group int64) []SegmentMeta {
 type Scanner struct {
 	t       *Table
 	rows    int
-	page    []byte // raw copy of the loaded segment page (pin released)
-	decoded []bool // per schema column: scratch slice holds this segment
+	loaded  storage.PageID // segment page currently staged (InvalidPageID: none)
+	page    []byte         // raw copy of the loaded segment page (pin released)
+	decoded []bool         // per schema column: scratch slice holds this segment
 	ints    [][]int64
 	floats  [][]float64
 }
@@ -159,7 +160,17 @@ func (t *Table) NewScanner() *Scanner {
 // stages it for column access, replacing the previously loaded segment.
 // No column decodes here: the page bytes are copied (so the pool pin is
 // released immediately) and each array materialises on first touch.
+//
+// Re-loading the segment already staged is free: the scanner is the
+// columnar sweep's leaf cache, so a probe run that revisits one segment
+// page (the candidate searcher walks overlapping windows probe by probe)
+// skips the pool and keeps its decoded column arrays. Segment pages are
+// immutable once built, so the staged copy can never go stale.
 func (s *Scanner) Load(m SegmentMeta) error {
+	if m.Page == s.loaded && m.Page != storage.InvalidPageID {
+		return nil
+	}
+	s.loaded = storage.InvalidPageID
 	h, err := s.t.pool.Get(m.Page)
 	if err != nil {
 		return err
@@ -185,6 +196,7 @@ func (s *Scanner) Load(m SegmentMeta) error {
 		s.decoded[ci] = false
 	}
 	s.rows = hdr.Rows
+	s.loaded = m.Page
 	return nil
 }
 

@@ -80,7 +80,7 @@ func buildRows(t *testing.T, pool *storage.Pool, rows []testRow) *Table {
 // re-reads from the store.
 func TestBuildScanRoundTrip(t *testing.T) {
 	rows := genRows(20040801, 25, 4*SegmentCapacity(len(testSchema())))
-	pool := storage.NewPool(storage.NewMemStore(), 8) // tiny: segments evict
+	pool := storage.NewPool(storage.NewMemStore(), storage.PoolOptions{Frames: 8}) // tiny: segments evict
 	tb := buildRows(t, pool, rows)
 
 	if got := tb.NumRows(); got != int64(len(rows)) {
@@ -130,7 +130,7 @@ func TestBuildScanRoundTrip(t *testing.T) {
 // untouched columns stay raw, and the next Load invalidates everything.
 func TestScannerLazyColumnDecode(t *testing.T) {
 	rows := genRows(11, 6, 2*SegmentCapacity(len(testSchema())))
-	pool := storage.NewPool(storage.NewMemStore(), 64)
+	pool := storage.NewPool(storage.NewMemStore(), storage.PoolOptions{Frames: 64})
 	tb := buildRows(t, pool, rows)
 	segs := tb.Segments()
 	if len(segs) < 2 {
@@ -177,7 +177,7 @@ func TestScannerLazyColumnDecode(t *testing.T) {
 // order, and empty slices for absent groups.
 func TestGroupSegments(t *testing.T) {
 	rows := genRows(7, 12, 3*SegmentCapacity(len(testSchema())))
-	pool := storage.NewPool(storage.NewMemStore(), 64)
+	pool := storage.NewPool(storage.NewMemStore(), storage.PoolOptions{Frames: 64})
 	tb := buildRows(t, pool, rows)
 
 	wantRows := map[int64]int{}
@@ -209,7 +209,7 @@ func TestSegmentPacking(t *testing.T) {
 		rows = append(rows, testRow{objid: int64(i), zoneid: 5, ra: float64(i)})
 	}
 	rows = append(rows, testRow{objid: 9999, zoneid: 6, ra: 0})
-	pool := storage.NewPool(storage.NewMemStore(), 64)
+	pool := storage.NewPool(storage.NewMemStore(), storage.PoolOptions{Frames: 64})
 	tb := buildRows(t, pool, rows)
 	segs := tb.Segments()
 	wantRowCounts := []int{cap, cap, 1, 1}
@@ -226,7 +226,7 @@ func TestSegmentPacking(t *testing.T) {
 // TestBuilderRejectsBadInput pins the ordering and shape contracts: the
 // builder refuses to silently resort.
 func TestBuilderRejectsBadInput(t *testing.T) {
-	pool := storage.NewPool(storage.NewMemStore(), 64)
+	pool := storage.NewPool(storage.NewMemStore(), storage.PoolOptions{Frames: 64})
 	newB := func() *Builder {
 		b, err := NewBuilder(pool, testSchema(), tsGroupCol, tsSortCol)
 		if err != nil {

@@ -1,6 +1,7 @@
 package maxbcg
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -70,7 +71,7 @@ type DBFinder struct {
 	Ingest     IngestMode // load path for the catalog and zone tables
 	Store      ZoneStore  // zone representation the batched sweeps read
 	// Workers sets the worker-pool size of the batched zone sweeps
-	// (zone.ParallelBatchSearch): 0 = one worker per CPU, 1 = the
+	// (zone.Sweep): 0 = one worker per CPU, 1 = the
 	// sequential sweep (the ablation baseline). Output is bit-identical
 	// at every setting; only SearchBatch mode is affected.
 	Workers int
@@ -281,12 +282,14 @@ func (f *DBFinder) SpZone() error {
 // row B+tree otherwise. Both paths emit bit-identical call sequences;
 // worker CPU accumulates into sweepStats for the task report.
 func (f *DBFinder) sweepZone(probes []zone.Probe, fn func(int, zone.ZoneRow)) error {
+	src := zone.Rows(f.zoneT, f.ZoneHeight)
 	if f.Store == StoreColumnar {
 		if ct := f.zoneT.Columnar(); ct != nil {
-			return zone.ParallelBatchSearchColumnarStats(ct, f.ZoneHeight, probes, f.Workers, &f.sweepStats, fn)
+			src = zone.Columnar(ct, f.ZoneHeight)
 		}
 	}
-	return zone.ParallelBatchSearchStats(f.zoneT, f.ZoneHeight, probes, f.Workers, &f.sweepStats, fn)
+	return zone.Sweep(context.Background(), src, probes,
+		zone.SweepOptions{Workers: f.Workers, Stats: &f.sweepStats}, fn)
 }
 
 type dbSearcher struct {

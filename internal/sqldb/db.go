@@ -21,14 +21,32 @@ type DB struct {
 	knobs   PlannerKnobs
 }
 
-// Open creates an in-memory database with the given buffer-pool size in
-// frames (0 selects a default of 4096 frames = 32 MiB).
-func Open(frames int) *DB {
+// PoolConfig sizes the database's buffer pool.
+type PoolConfig struct {
+	// Frames is the pool size in page frames (0 selects 4096 = 32 MiB).
+	Frames int
+	// Shards is the pool's lock-shard count (0 selects GOMAXPROCS; see
+	// storage.PoolOptions — the -pool-shards flag on the cmds lands here).
+	Shards int
+}
+
+func (c PoolConfig) options() storage.PoolOptions {
+	frames := c.Frames
 	if frames == 0 {
 		frames = 4096
 	}
+	return storage.PoolOptions{Frames: frames, Shards: c.Shards}
+}
+
+// Open creates an in-memory database with the given buffer-pool size in
+// frames (0 selects a default of 4096 frames = 32 MiB).
+func Open(frames int) *DB { return OpenPool(PoolConfig{Frames: frames}) }
+
+// OpenPool creates an in-memory database with an explicitly configured
+// buffer pool.
+func OpenPool(cfg PoolConfig) *DB {
 	return &DB{
-		pool:    storage.NewPool(storage.NewMemStore(), frames),
+		pool:    storage.NewPool(storage.NewMemStore(), cfg.options()),
 		tables:  make(map[string]*Table),
 		scalars: make(map[string]ScalarFunc),
 		tvfs:    make(map[string]*TVF),
@@ -40,15 +58,17 @@ func Open(frames int) *DB {
 // scripts do); page data lives in the file so the pool's physical I/O is
 // real.
 func OpenAt(path string, frames int) (*DB, error) {
+	return OpenAtPool(path, PoolConfig{Frames: frames})
+}
+
+// OpenAtPool is OpenAt with an explicitly configured buffer pool.
+func OpenAtPool(path string, cfg PoolConfig) (*DB, error) {
 	store, err := storage.OpenFileStore(path)
 	if err != nil {
 		return nil, err
 	}
-	if frames == 0 {
-		frames = 4096
-	}
 	return &DB{
-		pool:    storage.NewPool(store, frames),
+		pool:    storage.NewPool(store, cfg.options()),
 		tables:  make(map[string]*Table),
 		scalars: make(map[string]ScalarFunc),
 		tvfs:    make(map[string]*TVF),

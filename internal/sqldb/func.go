@@ -19,7 +19,7 @@ type ScalarFunc func(args []Value) (Value, error)
 // lateral call: the Volcano plan invokes Fn once per outer row. When Batch
 // is set, the physical planner instead lowers the whole join to a
 // ZoneSweepJoin operator that hands every outer row's argument vector to
-// Batch in one call — the plan-level twin of zone.BatchSearch, so paper SQL
+// Batch in one call — the plan-level twin of zone.Sweep, so paper SQL
 // gets the batched sweep without Go code.
 type TVF struct {
 	Cols []Column

@@ -360,6 +360,31 @@ type TableCursor struct {
 	started bool
 	err     error
 	keyBuf  []byte // bound-encoding scratch reused across RangeScanPrefixInto calls
+	lc      *storage.LeafCache
+}
+
+// NewSweepCursor returns a reusable range cursor whose page fetches go
+// through a private leaf cache: repeated seeks inside the cached window
+// (a zone sweep's per-window re-seeks) skip the buffer pool entirely.
+// Cache mode is only sound while the table is not being written; the
+// sweep drivers own that invariant. Call ResetLeafCache at each work
+// boundary (the zone sweeps reset per zone, which keeps the pool's I/O
+// accounting independent of how zones are scheduled across workers) and
+// Close when done — Close drops the cache's pins too.
+func (t *Table) NewSweepCursor() *TableCursor {
+	c := &TableCursor{table: t, cur: &storage.Cursor{}}
+	c.lc = storage.NewLeafCache(t.pool, storage.DefaultLeafCacheFrames)
+	c.cur.SetCache(c.lc)
+	return c
+}
+
+// ResetLeafCache releases the sweep cursor's cached pins (no-op on a
+// cursor without a cache). The cursor must be re-seeked before its next
+// use.
+func (c *TableCursor) ResetLeafCache() {
+	if c.lc != nil {
+		c.lc.Reset()
+	}
 }
 
 // Scan returns a cursor over the whole table.
@@ -551,8 +576,13 @@ func (c *TableCursor) SetEagerColumns(n int) { c.eager = n }
 // Err returns the first error encountered.
 func (c *TableCursor) Err() error { return c.err }
 
-// Close releases the cursor.
-func (c *TableCursor) Close() { c.cur.Close() }
+// Close releases the cursor, including any leaf-cache pins.
+func (c *TableCursor) Close() {
+	c.cur.Close()
+	if c.lc != nil {
+		c.lc.Reset()
+	}
+}
 
 // Truncate removes all rows (a fresh tree; old pages are abandoned, as this
 // engine has no free-space reuse).

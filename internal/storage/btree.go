@@ -364,13 +364,34 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 
 // Cursor iterates leaf records in key order. It holds a pin on the current
 // leaf; Close releases it. Key and Value return copies.
+//
+// A cursor given a LeafCache (SetCache) fetches pages through the cache
+// instead of pinning them itself: re-seeks inside the cached window skip
+// the pool entirely. Cache mode is only sound on a tree that is not being
+// modified — the sweep cursors that use it run over frozen zone tables.
 type Cursor struct {
 	tree  *BTree
 	h     *Handle
+	cache *LeafCache
+	buf   []byte // current page in cache mode (owned by the cache)
 	slot  int
 	key   []byte
 	value []byte
 	valid bool
+}
+
+// SetCache routes the cursor's page fetches through lc. The caller keeps
+// ownership of lc: resetting it invalidates the cursor's position, so
+// reset only between seeks (the sweep drivers reset at zone boundaries,
+// immediately before re-seeking).
+func (c *Cursor) SetCache(lc *LeafCache) { c.cache = lc }
+
+// page returns the current node's bytes in either pinning or cache mode.
+func (c *Cursor) page() []byte {
+	if c.h != nil {
+		return c.h.Buf
+	}
+	return c.buf
 }
 
 // Seek positions a cursor at the first key >= key.
@@ -396,7 +417,25 @@ func (t *BTree) SeekInto(key []byte, c *Cursor) error {
 	}
 	c.tree = t
 	c.valid = false
+	c.buf = nil
 	id := t.root
+	if c.cache != nil {
+		for {
+			buf, err := c.cache.Get(id)
+			if err != nil {
+				return err
+			}
+			if buf[0] == nodeInternal {
+				id = childFor(buf, key)
+				continue
+			}
+			p := AsSlotted(buf, nodeReserve)
+			idx, _ := search(p, key, true)
+			c.buf = buf
+			c.slot = idx
+			return c.load()
+		}
+	}
 	for {
 		h, err := t.pool.Get(id)
 		if err != nil {
@@ -422,7 +461,8 @@ func (t *BTree) First() (*Cursor, error) { return t.Seek([]byte{}) }
 // leaves and page ends.
 func (c *Cursor) load() error {
 	for {
-		p := AsSlotted(c.h.Buf, nodeReserve)
+		buf := c.page()
+		p := AsSlotted(buf, nodeReserve)
 		if c.slot < p.NumSlots() {
 			k, v := splitLeafRecord(p.Record(c.slot))
 			c.key = append(c.key[:0], k...)
@@ -430,19 +470,31 @@ func (c *Cursor) load() error {
 			c.valid = true
 			return nil
 		}
-		next := getChild(c.h.Buf)
-		c.h.Release(false)
-		c.h = nil
+		next := getChild(buf)
+		if c.h != nil {
+			c.h.Release(false)
+			c.h = nil
+		}
+		c.buf = nil
 		if next == InvalidPageID {
 			c.valid = false
 			return nil
 		}
-		h, err := c.tree.pool.Get(next)
-		if err != nil {
-			c.valid = false
-			return err
+		if c.cache != nil {
+			nb, err := c.cache.Get(next)
+			if err != nil {
+				c.valid = false
+				return err
+			}
+			c.buf = nb
+		} else {
+			h, err := c.tree.pool.Get(next)
+			if err != nil {
+				c.valid = false
+				return err
+			}
+			c.h = h
 		}
-		c.h = h
 		c.slot = 0
 	}
 }
@@ -465,12 +517,14 @@ func (c *Cursor) Next() error {
 	return c.load()
 }
 
-// Close releases the cursor's pin. Safe to call multiple times.
+// Close releases the cursor's pin. Cached pages stay pinned by their
+// LeafCache (Reset that separately). Safe to call multiple times.
 func (c *Cursor) Close() {
 	if c.h != nil {
 		c.h.Release(false)
 		c.h = nil
 	}
+	c.buf = nil
 	c.valid = false
 }
 

@@ -11,7 +11,7 @@ import (
 
 func newTestTree(t *testing.T, frames int) (*BTree, *Pool) {
 	t.Helper()
-	pool := NewPool(NewMemStore(), frames)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: frames})
 	tr, err := NewBTree(pool)
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestBTreePersistsThroughFileStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pool := NewPool(store, 16)
+	pool := NewPool(store, PoolOptions{Frames: 16})
 	tr, err := NewBTree(pool)
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestBTreePersistsThroughFileStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store2.Close()
-	pool2 := NewPool(store2, 16)
+	pool2 := NewPool(store2, PoolOptions{Frames: 16})
 	tr2 := OpenBTree(pool2, root)
 	for _, i := range []int64{0, 1, 1500, 2999} {
 		v, ok, err := tr2.Get(AppendInt64(nil, i))

@@ -130,7 +130,7 @@ func TestBulkLoaderInvariants(t *testing.T) {
 	sizes := []int{0, 1, capacity - 1, capacity, capacity + 1, 10000}
 	for _, n := range sizes {
 		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
-			pool := NewPool(NewMemStore(), 512)
+			pool := NewPool(NewMemStore(), PoolOptions{Frames: 512})
 			tree := bulkLoadN(t, pool, n)
 			checkTreeInvariants(t, tree, n)
 			if got, err := tree.Len(); err != nil || got != n {
@@ -146,7 +146,7 @@ func TestBulkLoaderInvariantsFuzz(t *testing.T) {
 	rng := rand.New(rand.NewSource(20040801))
 	for round := 0; round < 20; round++ {
 		n := rng.Intn(4000)
-		pool := NewPool(NewMemStore(), 512)
+		pool := NewPool(NewMemStore(), PoolOptions{Frames: 512})
 		b, err := NewBulkLoader(pool)
 		if err != nil {
 			t.Fatal(err)
@@ -172,7 +172,7 @@ func TestBulkLoaderInvariantsFuzz(t *testing.T) {
 // tree built by per-record Insert.
 func TestBulkLoadMatchesInsert(t *testing.T) {
 	const n = 5000
-	pool := NewPool(NewMemStore(), 1024)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 1024})
 	bulk := bulkLoadN(t, pool, n)
 	ins, err := NewBTree(pool)
 	if err != nil {
@@ -217,7 +217,7 @@ func TestBulkLoadMatchesInsert(t *testing.T) {
 // pages must split correctly and point lookups keep working.
 func TestBulkLoadThenInsert(t *testing.T) {
 	const n = 3000
-	pool := NewPool(NewMemStore(), 512)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 512})
 	tree := bulkLoadN(t, pool, n)
 	// Interleave new keys between the loaded ones (odd offsets above n).
 	for i := 0; i < n; i += 2 {
@@ -240,7 +240,7 @@ func TestBulkLoadThenInsert(t *testing.T) {
 }
 
 func TestBulkLoaderErrors(t *testing.T) {
-	pool := NewPool(NewMemStore(), 64)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 64})
 	b, err := NewBulkLoader(pool)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,94 @@
+package storage
+
+// LeafCache is a tiny per-worker cache of pinned pages in front of the
+// buffer pool. A sweep cursor that re-seeks many times inside one zone
+// descends the same root/internal pages and lands on the same handful of
+// leaves over and over; routing those fetches through a LeafCache turns
+// the repeats into pointer lookups that never touch the pool (no shard
+// lock, no LogicalRead).
+//
+// Invariants the caller must uphold:
+//
+//   - The cached pages must be immutable while the cache holds them
+//     (sweeps run over frozen zone tables; the cache is not for writers).
+//   - A buffer returned by Get stays valid until that entry is evicted
+//     or Reset is called. The cache is LRU with small capacity, so a
+//     caller may rely on the last `capacity` distinct pages it touched —
+//     a B+tree descent (depth ≪ capacity) plus the current leaf fits.
+//   - The cache pins every resident page, so its capacity counts against
+//     the pool's free frames; keep it small (the default 8 is plenty for
+//     a descent) and Reset it when the worker goes idle.
+//
+// Sweep workers Reset the cache at every zone boundary. That keeps the
+// pool's I/O accounting deterministic: each zone's fetch sequence is then
+// a pure function of that zone's windows, so io-ops are bit-identical no
+// matter how zones are scheduled across workers.
+//
+// A LeafCache is owned by one goroutine and is not safe for concurrent use.
+type LeafCache struct {
+	pool *Pool
+	cap  int
+	ids  []PageID // ids[i] owns hs[i]; most recently used last
+	hs   []*Handle
+}
+
+// DefaultLeafCacheFrames is the per-worker cache capacity the sweep
+// cursors use: deep enough for a full descent plus the active leaf run,
+// small enough that eight workers' caches don't dent a 4096-frame pool.
+const DefaultLeafCacheFrames = 8
+
+// NewLeafCache returns a cache holding at most capacity pinned pages
+// (minimum 2: a descent needs the parent and the child live at once).
+func NewLeafCache(pool *Pool, capacity int) *LeafCache {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &LeafCache{
+		pool: pool,
+		cap:  capacity,
+		ids:  make([]PageID, 0, capacity),
+		hs:   make([]*Handle, 0, capacity),
+	}
+}
+
+// Get returns the page's bytes, fetching and pinning it on first touch.
+// The returned buffer aliases the pool frame and stays valid until this
+// entry is evicted (at least cap-1 distinct Gets away) or Reset runs.
+func (c *LeafCache) Get(id PageID) ([]byte, error) {
+	for i := len(c.ids) - 1; i >= 0; i-- {
+		if c.ids[i] == id {
+			if i != len(c.ids)-1 { // move to MRU position
+				h := c.hs[i]
+				copy(c.ids[i:], c.ids[i+1:])
+				copy(c.hs[i:], c.hs[i+1:])
+				c.ids[len(c.ids)-1] = id
+				c.hs[len(c.hs)-1] = h
+			}
+			return c.hs[len(c.hs)-1].Buf, nil
+		}
+	}
+	h, err := c.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.ids) == c.cap { // evict LRU
+		c.hs[0].Release(false)
+		copy(c.ids, c.ids[1:])
+		copy(c.hs, c.hs[1:])
+		c.ids = c.ids[:len(c.ids)-1]
+		c.hs = c.hs[:len(c.hs)-1]
+	}
+	c.ids = append(c.ids, id)
+	c.hs = append(c.hs, h)
+	return h.Buf, nil
+}
+
+// Reset releases every cached pin. Buffers previously returned by Get
+// are invalid afterwards. The cache remains usable.
+func (c *LeafCache) Reset() {
+	for _, h := range c.hs {
+		h.Release(false)
+	}
+	c.ids = c.ids[:0]
+	c.hs = c.hs[:0]
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -46,64 +47,172 @@ type frame struct {
 // FaultHooks intercepts the pool's interactions with its store for fault
 // injection: Fetch runs at the top of every Get and Alloc at the top of
 // every New. A non-nil error aborts the operation with that error; the
-// hook may also just sleep to model a slow device. Hooks run before the
-// pool's mutex is taken, so injected latency stalls only the calling
+// hook may also just sleep to model a slow device. Hooks run before any
+// shard lock is taken, so injected latency stalls only the calling
 // query, not every pool client.
 type FaultHooks struct {
 	Fetch func() error
 	Alloc func() error
 }
 
-// Pool is a pinning buffer pool with clock eviction over a Store.
-// It is safe for concurrent use.
-type Pool struct {
+// shard owns a disjoint subset of the pool's frames (pages are assigned
+// by PageID hash) with its own lock, page index, clock hand, and stat
+// counters. The counters are atomics written only under mu; readers
+// (Stats) sum them without taking the lock.
+type shard struct {
 	mu     sync.Mutex
-	store  Store
 	frames []frame
 	index  map[PageID]int
 	hand   int
-	stats  Stats
-	hooks  atomic.Pointer[FaultHooks]
+
+	logicalReads   atomic.Int64
+	physicalReads  atomic.Int64
+	physicalWrites atomic.Int64
 }
 
-// NewPool creates a pool with the given number of frames (minimum 8).
-func NewPool(store Store, frames int) *Pool {
+// PoolOptions configures NewPool.
+type PoolOptions struct {
+	// Frames is the total frame count across all shards (minimum 8).
+	Frames int
+	// Shards is the number of independently locked frame partitions.
+	// 0 means GOMAXPROCS. The value is rounded up to a power of two and
+	// then clamped so every shard keeps at least 8 frames — small pools
+	// (tests, tight MyDB budgets) degenerate to a single shard and keep
+	// the exact eviction behaviour of the unsharded pool.
+	Shards int
+	// FaultHooks, when non-nil, installs fault-injection hooks at
+	// construction (equivalent to calling SetFaultHooks afterwards).
+	FaultHooks *FaultHooks
+}
+
+// Pool is a pinning buffer pool with clock eviction over a Store. Frames
+// are partitioned by PageID hash into power-of-two shards, each with its
+// own mutex, index, and clock hand, so concurrent fetches of different
+// pages contend only when they hash to the same shard. It is safe for
+// concurrent use.
+type Pool struct {
+	store  Store
+	shards []*shard
+	shift  uint // 64 - log2(len(shards)); PageID hash >> shift picks the shard
+	hooks  atomic.Pointer[FaultHooks]
+
+	// base is the counter snapshot taken by the last ResetStats; Stats
+	// reports live counters minus base, so resetting never writes the
+	// (concurrently updated) shard counters themselves.
+	baseMu sync.Mutex
+	base   Stats
+}
+
+// NewPool creates a pool over store. See PoolOptions for the knobs; the
+// zero value of every option picks a sensible default.
+func NewPool(store Store, opts PoolOptions) *Pool {
+	frames := opts.Frames
 	if frames < 8 {
 		frames = 8
 	}
-	p := &Pool{
-		store:  store,
-		frames: make([]frame, frames),
-		index:  make(map[PageID]int, frames),
+	n := opts.Shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
 	}
-	for i := range p.frames {
-		p.frames[i].buf = make([]byte, PageSize)
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	n = pow
+	for n > 1 && frames/n < 8 {
+		n >>= 1
+	}
+	shift := uint(64)
+	for s := n; s > 1; s >>= 1 {
+		shift--
+	}
+	p := &Pool{store: store, shards: make([]*shard, n), shift: shift}
+	for i := range p.shards {
+		// Distribute frames round-robin so totals are exact even when
+		// the frame count is not a multiple of the shard count.
+		fc := frames / n
+		if i < frames%n {
+			fc++
+		}
+		sh := &shard{frames: make([]frame, fc), index: make(map[PageID]int, fc)}
+		for j := range sh.frames {
+			sh.frames[j].buf = make([]byte, PageSize)
+		}
+		p.shards[i] = sh
+	}
+	if opts.FaultHooks != nil {
+		p.hooks.Store(opts.FaultHooks)
 	}
 	return p
 }
 
-// Stats returns a snapshot of the pool counters.
-func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+// NumShards returns the number of frame partitions the pool settled on
+// after rounding and clamping.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// shardFor maps a page id to its owning shard (Fibonacci hash on the id,
+// top bits select the shard; with one shard the shift is 64 and Go
+// defines x>>64 == 0).
+func (p *Pool) shardFor(id PageID) *shard {
+	return p.shards[(uint64(id)*0x9E3779B97F4A7C15)>>p.shift]
 }
 
-// ResetStats zeroes the counters; the bench harness calls this between
-// tasks so each task's I/O is attributed separately, like the paper's
-// per-task rows.
+// rawStats sums the live per-shard counters. Each counter is exact (every
+// increment happens-before the handle it accounts for is returned), but
+// the triple is not a single atomic snapshot; callers that need the
+// counters to correspond to a quiesced state (the bench harness) read
+// them between operations, not during.
+func (p *Pool) rawStats() Stats {
+	var s Stats
+	for _, sh := range p.shards {
+		s.LogicalReads += sh.logicalReads.Load()
+		s.PhysicalReads += sh.physicalReads.Load()
+		s.PhysicalWrites += sh.physicalWrites.Load()
+	}
+	return s
+}
+
+// Stats returns a snapshot of the pool counters since the last ResetStats.
+func (p *Pool) Stats() Stats {
+	raw := p.rawStats()
+	p.baseMu.Lock()
+	defer p.baseMu.Unlock()
+	return raw.Sub(p.base)
+}
+
+// ShardStats returns the live per-shard counters (not adjusted by
+// ResetStats); Stats equals their sum minus the reset baseline. Exposed
+// for tests and for reading shard balance.
+func (p *Pool) ShardStats() []Stats {
+	out := make([]Stats, len(p.shards))
+	for i, sh := range p.shards {
+		out[i] = Stats{
+			LogicalReads:   sh.logicalReads.Load(),
+			PhysicalReads:  sh.physicalReads.Load(),
+			PhysicalWrites: sh.physicalWrites.Load(),
+		}
+	}
+	return out
+}
+
+// ResetStats rebases the counters so a following Stats reads zero; the
+// bench harness calls this between tasks so each task's I/O is attributed
+// separately, like the paper's per-task rows. Concurrent readers are
+// safe: the live counters are never written, only the subtraction base.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	raw := p.rawStats()
+	p.baseMu.Lock()
+	defer p.baseMu.Unlock()
+	p.base = raw
 }
 
 // Handle is a pinned page. Buf aliases the frame; it is valid until Release.
 type Handle struct {
-	ID   PageID
-	Buf  []byte
-	pool *Pool
-	idx  int
+	ID       PageID
+	Buf      []byte
+	sh       *shard
+	idx      int
+	released bool
 }
 
 // SetFaultHooks installs (or, with nil, removes) the pool's fault-
@@ -118,21 +227,22 @@ func (p *Pool) Get(id PageID) (*Handle, error) {
 			return nil, fmt.Errorf("storage: page %d fetch: %w", id, err)
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.LogicalReads++
-	if idx, ok := p.index[id]; ok {
-		f := &p.frames[idx]
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.logicalReads.Add(1)
+	if idx, ok := sh.index[id]; ok {
+		f := &sh.frames[idx]
 		f.pins++
 		f.used = true
-		return &Handle{ID: id, Buf: f.buf, pool: p, idx: idx}, nil
+		return &Handle{ID: id, Buf: f.buf, sh: sh, idx: idx}, nil
 	}
-	idx, err := p.evictLocked()
+	idx, err := sh.evictLocked(p.store)
 	if err != nil {
 		return nil, err
 	}
-	f := &p.frames[idx]
-	p.stats.PhysicalReads++
+	f := &sh.frames[idx]
+	sh.physicalReads.Add(1)
 	if err := p.store.ReadPage(id, f.buf); err != nil {
 		return nil, err
 	}
@@ -140,8 +250,8 @@ func (p *Pool) Get(id PageID) (*Handle, error) {
 	f.pins = 1
 	f.dirty = false
 	f.used = true
-	p.index[id] = idx
-	return &Handle{ID: id, Buf: f.buf, pool: p, idx: idx}, nil
+	sh.index[id] = idx
+	return &Handle{ID: id, Buf: f.buf, sh: sh, idx: idx}, nil
 }
 
 // New allocates a fresh page in the store and pins it zero-filled.
@@ -155,13 +265,14 @@ func (p *Pool) New() (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	idx, err := p.evictLocked()
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx, err := sh.evictLocked(p.store)
 	if err != nil {
 		return nil, err
 	}
-	f := &p.frames[idx]
+	f := &sh.frames[idx]
 	for i := range f.buf {
 		f.buf[i] = 0
 	}
@@ -169,16 +280,19 @@ func (p *Pool) New() (*Handle, error) {
 	f.pins = 1
 	f.dirty = true
 	f.used = true
-	p.index[id] = idx
-	return &Handle{ID: id, Buf: f.buf, pool: p, idx: idx}, nil
+	sh.index[id] = idx
+	return &Handle{ID: id, Buf: f.buf, sh: sh, idx: idx}, nil
 }
 
-// evictLocked finds a free frame, writing back a dirty victim if needed.
-func (p *Pool) evictLocked() (int, error) {
-	for scanned := 0; scanned < 2*len(p.frames); scanned++ {
-		f := &p.frames[p.hand]
-		idx := p.hand
-		p.hand = (p.hand + 1) % len(p.frames)
+// evictLocked finds a free frame in the shard, writing back a dirty
+// victim if needed. Pinned frames are never victims: the clock skips any
+// frame with pins > 0, so a pinned page cannot be evicted regardless of
+// what other shards (or other goroutines on this shard) are doing.
+func (sh *shard) evictLocked(store Store) (int, error) {
+	for scanned := 0; scanned < 2*len(sh.frames); scanned++ {
+		f := &sh.frames[sh.hand]
+		idx := sh.hand
+		sh.hand = (sh.hand + 1) % len(sh.frames)
 		if f.pins > 0 {
 			continue
 		}
@@ -188,25 +302,32 @@ func (p *Pool) evictLocked() (int, error) {
 		}
 		if f.id != InvalidPageID {
 			if f.dirty {
-				p.stats.PhysicalWrites++
-				if err := p.store.WritePage(f.id, f.buf); err != nil {
+				sh.physicalWrites.Add(1)
+				if err := store.WritePage(f.id, f.buf); err != nil {
 					return 0, err
 				}
 			}
-			delete(p.index, f.id)
+			delete(sh.index, f.id)
 			f.id = InvalidPageID
 		}
 		return idx, nil
 	}
-	return 0, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", len(p.frames))
+	return 0, fmt.Errorf("storage: buffer pool shard exhausted: all %d frames pinned", len(sh.frames))
 }
 
-// Release unpins the page; dirty marks it modified so eviction writes it back.
+// Release unpins the page; dirty marks it modified so eviction writes it
+// back. Releasing the same handle twice panics — a double release would
+// otherwise silently unpin someone else's pin and let a live page be
+// evicted under them.
 func (h *Handle) Release(dirty bool) {
-	p := h.pool
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f := &p.frames[h.idx]
+	if h.released {
+		panic(fmt.Sprintf("storage: double release of handle for page %d", h.ID))
+	}
+	h.released = true
+	sh := h.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := &sh.frames[h.idx]
 	if f.id != h.ID {
 		panic(fmt.Sprintf("storage: release of stale handle for page %d (frame now holds %d)", h.ID, f.id))
 	}
@@ -219,19 +340,22 @@ func (h *Handle) Release(dirty bool) {
 	f.pins--
 }
 
-// FlushAll writes every dirty frame back to the store.
+// FlushAll writes every dirty frame back to the store, one shard at a time.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for i := range p.frames {
-		f := &p.frames[i]
-		if f.id != InvalidPageID && f.dirty {
-			p.stats.PhysicalWrites++
-			if err := p.store.WritePage(f.id, f.buf); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for i := range sh.frames {
+			f := &sh.frames[i]
+			if f.id != InvalidPageID && f.dirty {
+				sh.physicalWrites.Add(1)
+				if err := p.store.WritePage(f.id, f.buf); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				f.dirty = false
 			}
-			f.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }

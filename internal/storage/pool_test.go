@@ -7,7 +7,7 @@ import (
 )
 
 func TestPoolHitMissAccounting(t *testing.T) {
-	pool := NewPool(NewMemStore(), 8)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 8})
 	h, err := pool.New()
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestPoolHitMissAccounting(t *testing.T) {
 
 func TestPoolEvictionWritesBackDirty(t *testing.T) {
 	store := NewMemStore()
-	pool := NewPool(store, 8)
+	pool := NewPool(store, PoolOptions{Frames: 8})
 	var first PageID
 	// Allocate enough pages to cycle the 8-frame pool several times.
 	for i := 0; i < 40; i++ {
@@ -72,7 +72,7 @@ func TestPoolEvictionWritesBackDirty(t *testing.T) {
 }
 
 func TestPoolExhaustion(t *testing.T) {
-	pool := NewPool(NewMemStore(), 8)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 8})
 	var handles []*Handle
 	for i := 0; i < 8; i++ {
 		h, err := pool.New()
@@ -91,7 +91,7 @@ func TestPoolExhaustion(t *testing.T) {
 }
 
 func TestPoolStatsResetAndDiff(t *testing.T) {
-	pool := NewPool(NewMemStore(), 8)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 8})
 	h, _ := pool.New()
 	h.Release(true)
 	pool.ResetStats()
@@ -113,7 +113,7 @@ func TestPoolStatsResetAndDiff(t *testing.T) {
 }
 
 func TestPoolConcurrentAccess(t *testing.T) {
-	pool := NewPool(NewMemStore(), 32)
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 32})
 	var ids []PageID
 	for i := 0; i < 64; i++ {
 		h, err := pool.New()

@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolShardDefaults pins the shard-count resolution rules: rounding
+// up to a power of two, clamping so every shard keeps >= 8 frames, and
+// tiny pools degenerating to one shard (exact legacy behaviour).
+func TestPoolShardDefaults(t *testing.T) {
+	cases := []struct {
+		frames, shards, want int
+	}{
+		{8, 0, 1},    // 8 frames can never split
+		{8, 16, 1},   // even when asked to
+		{64, 4, 4},   // explicit power of two kept
+		{64, 5, 8},   // rounded up to 8; 64/8 = 8 frames each, allowed
+		{64, 9, 8},   // 16 would leave 4 frames/shard; clamped to 8
+		{1024, 3, 4}, // rounded up
+		{20, 4, 2},   // 20/4 = 5 < 8; clamp to 2 (10 frames each)
+	}
+	for _, c := range cases {
+		p := NewPool(NewMemStore(), PoolOptions{Frames: c.frames, Shards: c.shards})
+		if got := p.NumShards(); got != c.want {
+			t.Errorf("frames=%d shards=%d: NumShards = %d, want %d", c.frames, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestPoolShardedNeverEvictsPinned is the eviction-safety property test:
+// goroutines pin pages carrying a marker byte while others churn fresh
+// allocations through every shard to force constant eviction. No pinned
+// page may lose its frame — its buffer must still carry the marker when
+// the pin is finally dropped. Run under -race this also exercises the
+// per-shard locking.
+func TestPoolShardedNeverEvictsPinned(t *testing.T) {
+	store := NewMemStore()
+	pool := NewPool(store, PoolOptions{Frames: 64, Shards: 4})
+	if pool.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", pool.NumShards())
+	}
+
+	// Seed pages the pinners will fight over.
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		h, err := pool.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Buf[7] = byte(i + 1)
+		ids = append(ids, h.ID)
+		h.Release(true)
+	}
+
+	var wg sync.WaitGroup
+	// Pinners: hold a pin across an adversarial window, then verify.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 100; round++ {
+				i := (w*13 + round) % len(ids)
+				h, err := pool.Get(ids[i])
+				if err != nil {
+					t.Errorf("pinner Get(%d): %v", ids[i], err)
+					return
+				}
+				want := byte(i + 1)
+				for spin := 0; spin < 50; spin++ {
+					if h.Buf[7] != want {
+						t.Errorf("pinned page %d content changed: %d != %d (evicted under a pin?)", h.ID, h.Buf[7], want)
+						h.Release(false)
+						return
+					}
+				}
+				// Release panics on a stale frame, so surviving this call
+				// also proves the frame still belongs to the pinned page.
+				h.Release(false)
+			}
+		}(w)
+	}
+	// Churners: force eviction pressure on every shard.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				h, err := pool.New()
+				if err != nil {
+					// Transient exhaustion under heavy pinning is legal;
+					// eviction safety is what is under test.
+					continue
+				}
+				h.Release(true)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPoolStatsShardSum checks the striped-counter contract: Stats()
+// equals the sum of per-shard deltas, and concurrent fetches are counted
+// exactly (no lost increments).
+func TestPoolStatsShardSum(t *testing.T) {
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 64, Shards: 4})
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		h, err := pool.New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, h.ID)
+		h.Release(true)
+	}
+	pool.ResetStats()
+	baseShards := pool.ShardStats()
+
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				h, err := pool.Get(ids[(w*3+r)%len(ids)])
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				h.Release(false)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s := pool.Stats()
+	if s.LogicalReads != workers*rounds {
+		t.Errorf("LogicalReads = %d, want exactly %d", s.LogicalReads, workers*rounds)
+	}
+	var sum Stats
+	for i, sh := range pool.ShardStats() {
+		sum.Add(sh.Sub(baseShards[i]))
+	}
+	if sum != s {
+		t.Errorf("sum of per-shard deltas %+v != Stats() %+v", sum, s)
+	}
+}
+
+// TestPoolResetStatsConcurrent hammers ResetStats against concurrent
+// readers and fetchers; under -race this pins the lock-free counter
+// design, and the test checks counters never go negative.
+func TestPoolResetStatsConcurrent(t *testing.T) {
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 64, Shards: 4})
+	h, err := pool.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := h.ID
+	h.Release(true)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hh, err := pool.Get(id)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				hh.Release(false)
+				s := pool.Stats()
+				if s.LogicalReads < 0 || s.PhysicalReads < 0 || s.PhysicalWrites < 0 {
+					t.Errorf("negative stats after concurrent reset: %+v", s)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		pool.ResetStats()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestHandleDoubleReleasePanics pins the Release contract: the second
+// release of one handle must panic instead of corrupting the pin count.
+func TestHandleDoubleReleasePanics(t *testing.T) {
+	pool := NewPool(NewMemStore(), PoolOptions{Frames: 8})
+	h, err := pool.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release(true)
+	defer func() {
+		if recover() == nil {
+			t.Error("second Release did not panic")
+		}
+	}()
+	h.Release(false)
+}

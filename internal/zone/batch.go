@@ -20,7 +20,7 @@ import (
 // When the caller has many probes at once (spMakeCandidates visits every
 // galaxy of the buffered area), the grid-file observation applies: probes
 // sorted in index order should be answered by a merge sweep, not repeated
-// point lookups. BatchSearch sorts every probe's (zone, ra-window)
+// point lookups. Sweep (sweep.go) sorts every probe's (zone, ra-window)
 // obligation by (zone, ra) and drives one synchronized cursor per zone
 // through the clustered (zoneid, ra) order, testing each fetched row
 // against exactly the probes whose window covers it.
@@ -99,6 +99,10 @@ type zoneSweeper interface {
 // rowSweeper is the zoneSweeper over the row-major clustered zone table:
 // one reusable TableCursor, re-seeked per window gap, with lazy column
 // decode (the chord test reads only the leading chordTestCols columns).
+// The cursor carries a leaf cache, reset at every zone boundary: within a
+// zone the per-window re-seeks hit the cache instead of the pool, and the
+// per-zone reset keeps each zone's pool-fetch sequence a pure function of
+// its windows, so io-ops stay identical at every worker count.
 type rowSweeper struct {
 	t      *sqldb.Table
 	cur    *sqldb.TableCursor
@@ -106,6 +110,10 @@ type rowSweeper struct {
 }
 
 func (s *rowSweeper) sweepZone(ws []batchWindow, centers []astro.Vec3, r2s []float64, emit func(int, ZoneRow)) error {
+	if s.cur == nil {
+		s.cur = s.t.NewSweepCursor()
+	}
+	s.cur.ResetLeafCache()
 	var err error
 	s.cur, s.active, err = sweepZoneRows(s.t, ws, s.cur, s.active, centers, r2s, emit)
 	return err
@@ -115,28 +123,6 @@ func (s *rowSweeper) close() {
 	if s.cur != nil {
 		s.cur.Close()
 	}
-}
-
-// BatchSearch answers every probe against the zone table in one pass and
-// calls fn(probe index, neighbour row) for each hit. Per probe it emits
-// rows in the same (zone ascending, ra ascending) order as SearchTable, and
-// the chord arithmetic is identical, so the two paths agree bitwise; hits
-// of different probes interleave. Probes with negative radius match
-// nothing, like SearchTable.
-func BatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
-	return BatchSearchContext(context.Background(), t, heightDeg, probes, fn)
-}
-
-// BatchSearchContext is BatchSearch under a context: the sweep polls ctx
-// between zones and stops with an error wrapping ctx.Err() once it is
-// cancelled or past its deadline, so an abandoned query stops consuming
-// CPU and pool pins mid-sweep.
-func BatchSearchContext(ctx context.Context, t *sqldb.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
-	if len(probes) == 0 {
-		return nil
-	}
-	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepSequential(ctx, &rowSweeper{t: t}, ws, centers, r2s, fn)
 }
 
 // sweepInterrupted wraps a context failure so callers can errors.Is it
@@ -157,9 +143,8 @@ func zoneEnd(ws []batchWindow, i int) int {
 }
 
 // sweepSequential drives one sweeper through the prebuilt zone-grouped
-// windows in order: the back half of BatchSearch and
-// BatchSearchColumnar, and the fallback when a probe set collapses to too
-// few zones to parallelise.
+// windows in order: Sweep's Workers == 1 path, and the fallback when a
+// probe set collapses to too few zones to parallelise.
 func sweepSequential(ctx context.Context, sw zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) error {
 	defer sw.close()
 	poll := ctx.Done() != nil
@@ -207,51 +192,14 @@ func (s *SweepStats) WorkerCPU() time.Duration {
 	return time.Duration(s.workerCPU.Load())
 }
 
-// ParallelBatchSearch is BatchSearch swept by a pool of workers: zones are
-// independent by construction (each is a disjoint clustered-key range), so
-// workers claim zones from the sorted window list and sweep them
-// concurrently, each with its own cursor and decode buffers over the
-// thread-safe buffer pool. Per-zone hits buffer in memory and fn is called
-// zone by zone in ascending order from the calling goroutine, so the call
-// sequence — and therefore every downstream table — is bit-identical to
-// BatchSearch regardless of worker count or scheduling.
-//
-// workers <= 0 selects GOMAXPROCS; workers == 1 delegates to the
-// sequential BatchSearch (the ablation baseline). fn never runs
-// concurrently and needs no locking. On a sweep error fn has received a
-// clean prefix (by zone) of the sequential call sequence and a real sweep
-// error is returned; which zones made the prefix may vary with
-// scheduling, so callers must discard partial results on error (all
-// current callers do).
-func ParallelBatchSearch(t *sqldb.Table, heightDeg float64, probes []Probe, workers int, fn func(probe int, zr ZoneRow)) error {
-	return ParallelBatchSearchContext(context.Background(), t, heightDeg, probes, workers, nil, fn)
-}
-
-// ParallelBatchSearchStats is ParallelBatchSearch accumulating worker-pool
-// measurements into stats (which may be nil).
-func ParallelBatchSearchStats(t *sqldb.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
-	return ParallelBatchSearchContext(context.Background(), t, heightDeg, probes, workers, stats, fn)
-}
-
-// ParallelBatchSearchContext is ParallelBatchSearch under a context:
-// every worker polls ctx before claiming its next zone, so cancelling a
-// query stops the whole pool within the zones already in flight. stats
-// may be nil.
-func ParallelBatchSearchContext(ctx context.Context, t *sqldb.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 || len(probes) == 0 {
-		return BatchSearchContext(ctx, t, heightDeg, probes, fn)
-	}
-	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepParallel(ctx, func() zoneSweeper { return &rowSweeper{t: t} },
-		ws, centers, r2s, workers, stats, fn)
-}
-
 // sweepParallel runs the zone-grouped windows on a worker pool, one
-// sweeper per worker (newSweeper is called on the worker's goroutine).
-// See ParallelBatchSearch for the output contract this implements.
+// sweeper per worker (newSweeper is called on the worker's goroutine):
+// zones are independent by construction (each is a disjoint clustered-key
+// range), so workers claim zones from the sorted window list and sweep
+// them concurrently, each with its own cursor and decode buffers over the
+// thread-safe buffer pool. Per-zone hits buffer in memory and fn is
+// called zone by zone in ascending order from the calling goroutine; see
+// Sweep for the output contract this implements.
 func sweepParallel(ctx context.Context, newSweeper func() zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64,
 	workers int, stats *SweepStats, fn func(int, ZoneRow)) error {
 	// Group the windows by zone: groups[g] = ws[starts[g]:starts[g+1]].

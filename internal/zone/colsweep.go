@@ -1,9 +1,7 @@
 package zone
 
 import (
-	"context"
 	"fmt"
-	"runtime"
 	"sort"
 
 	"repro/internal/astro"
@@ -23,9 +21,9 @@ import (
 //
 // The arithmetic, the activation/expiry rules, and the emission order are
 // the row sweep's exactly (shared through the zoneSweeper drivers in
-// batch.go), so BatchSearchColumnar and ParallelBatchSearchColumnar are
-// bit-identical to their row counterparts — pinned by the equivalence
-// tests in colsweep_test.go.
+// batch.go), so a Sweep over the Columnar source is bit-identical to the
+// same Sweep over the Rows source — pinned by the equivalence tests in
+// colsweep_test.go.
 
 // Schema indices of the zone table's columns, shared by ZoneTableColumns
 // (the row store) and ColumnarZoneSchema (the columnar projection).
@@ -158,55 +156,4 @@ scan:
 		}
 	}
 	return nil
-}
-
-// BatchSearchColumnar is BatchSearch over the column-major zone store: the
-// same probes, the same hits in the same order (bit-identical to the row
-// sweep), with the chord test iterating raw float slices.
-func BatchSearchColumnar(ct *colstore.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
-	return BatchSearchColumnarContext(context.Background(), ct, heightDeg, probes, fn)
-}
-
-// BatchSearchColumnarContext is BatchSearchColumnar under a context; see
-// BatchSearchContext for the cancellation contract.
-func BatchSearchColumnarContext(ctx context.Context, ct *colstore.Table, heightDeg float64, probes []Probe, fn func(probe int, zr ZoneRow)) error {
-	if err := checkColumnarZone(ct); err != nil {
-		return err
-	}
-	if len(probes) == 0 {
-		return nil
-	}
-	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepSequential(ctx, &colSweeper{t: ct}, ws, centers, r2s, fn)
-}
-
-// ParallelBatchSearchColumnar is ParallelBatchSearch over the column-major
-// zone store: same worker-pool orchestration, same bit-identical output
-// contract at every worker count.
-func ParallelBatchSearchColumnar(ct *colstore.Table, heightDeg float64, probes []Probe, workers int, fn func(probe int, zr ZoneRow)) error {
-	return ParallelBatchSearchColumnarContext(context.Background(), ct, heightDeg, probes, workers, nil, fn)
-}
-
-// ParallelBatchSearchColumnarStats is ParallelBatchSearchColumnar
-// accumulating worker-pool measurements into stats (which may be nil).
-func ParallelBatchSearchColumnarStats(ct *colstore.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
-	return ParallelBatchSearchColumnarContext(context.Background(), ct, heightDeg, probes, workers, stats, fn)
-}
-
-// ParallelBatchSearchColumnarContext is ParallelBatchSearchColumnar under
-// a context; see ParallelBatchSearchContext for the cancellation
-// contract. stats may be nil.
-func ParallelBatchSearchColumnarContext(ctx context.Context, ct *colstore.Table, heightDeg float64, probes []Probe, workers int, stats *SweepStats, fn func(probe int, zr ZoneRow)) error {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers == 1 || len(probes) == 0 {
-		return BatchSearchColumnarContext(ctx, ct, heightDeg, probes, fn)
-	}
-	if err := checkColumnarZone(ct); err != nil {
-		return err
-	}
-	ws, centers, r2s := buildWindows(heightDeg, probes)
-	return sweepParallel(ctx, func() zoneSweeper { return &colSweeper{t: ct} },
-		ws, centers, r2s, workers, stats, fn)
 }

@@ -1,6 +1,7 @@
 package zone
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -74,7 +75,7 @@ func TestColumnarSweepMatchesRowSweep(t *testing.T) {
 				t.Fatalf("projection holds %d rows, row table %d", ct.NumRows(), zt.NumRows())
 			}
 			var want []seqCall
-			if err := BatchSearch(zt, tc.height, tc.probes, func(pi int, zr ZoneRow) {
+			if err := Sweep(context.Background(), Rows(zt, tc.height), tc.probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 				want = append(want, seqCall{probe: pi, row: zr})
 			}); err != nil {
 				t.Fatal(err)
@@ -83,7 +84,7 @@ func TestColumnarSweepMatchesRowSweep(t *testing.T) {
 				t.Fatal("fixture matches nothing")
 			}
 			var got []seqCall
-			if err := BatchSearchColumnar(ct, tc.height, tc.probes, func(pi int, zr ZoneRow) {
+			if err := Sweep(context.Background(), Columnar(ct, tc.height), tc.probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 				got = append(got, seqCall{probe: pi, row: zr})
 			}); err != nil {
 				t.Fatal(err)
@@ -111,7 +112,7 @@ func TestParallelColumnarSweepMatchesSequential(t *testing.T) {
 	ct := zt.Columnar()
 
 	var want []seqCall
-	if err := BatchSearchColumnar(ct, height, probes, func(pi int, zr ZoneRow) {
+	if err := Sweep(context.Background(), Columnar(ct, height), probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 		want = append(want, seqCall{probe: pi, row: zr})
 	}); err != nil {
 		t.Fatal(err)
@@ -122,7 +123,7 @@ func TestParallelColumnarSweepMatchesSequential(t *testing.T) {
 	// Cross-check against the row sweep once more: the parallel columnar
 	// path must agree with the sequential *row* path transitively.
 	var rowWant []seqCall
-	if err := BatchSearch(zt, height, probes, func(pi int, zr ZoneRow) {
+	if err := Sweep(context.Background(), Rows(zt, height), probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 		rowWant = append(rowWant, seqCall{probe: pi, row: zr})
 	}); err != nil {
 		t.Fatal(err)
@@ -135,7 +136,7 @@ func TestParallelColumnarSweepMatchesSequential(t *testing.T) {
 		t.Run(fmt.Sprintf("workers-%d", workers), func(t *testing.T) {
 			for rep := 0; rep < 3; rep++ {
 				var got []seqCall
-				err := ParallelBatchSearchColumnar(ct, height, probes, workers, func(pi int, zr ZoneRow) {
+				err := Sweep(context.Background(), Columnar(ct, height), probes, SweepOptions{Workers: workers}, func(pi int, zr ZoneRow) {
 					got = append(got, seqCall{probe: pi, row: zr})
 				})
 				if err != nil {
@@ -164,10 +165,10 @@ func TestSweepStatsAccumulateWorkerCPU(t *testing.T) {
 	}
 	var rowStats, colStats SweepStats
 	for i := 0; i < 200 && (rowStats.WorkerCPU() == 0 || colStats.WorkerCPU() == 0); i++ {
-		if err := ParallelBatchSearchStats(zt, height, probes, 4, &rowStats, func(int, ZoneRow) {}); err != nil {
+		if err := Sweep(context.Background(), Rows(zt, height), probes, SweepOptions{Workers: 4, Stats: &rowStats}, func(int, ZoneRow) {}); err != nil {
 			t.Fatal(err)
 		}
-		if err := ParallelBatchSearchColumnarStats(zt.Columnar(), height, probes, 4, &colStats, func(int, ZoneRow) {}); err != nil {
+		if err := Sweep(context.Background(), Columnar(zt.Columnar(), height), probes, SweepOptions{Workers: 4, Stats: &colStats}, func(int, ZoneRow) {}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -182,7 +183,7 @@ func TestSweepStatsAccumulateWorkerCPU(t *testing.T) {
 // TestColumnarSweepRejectsForeignTable pins the schema check: a colstore
 // table that is not a zone projection is refused, not misread.
 func TestColumnarSweepRejectsForeignTable(t *testing.T) {
-	if err := BatchSearchColumnar(nil, 0.25, []Probe{{Ra: 1, Dec: 1, R: 0.1}}, func(int, ZoneRow) {}); err == nil {
+	if err := Sweep(context.Background(), Columnar(nil, 0.25), []Probe{{Ra: 1, Dec: 1, R: 0.1}}, SweepOptions{Workers: 1}, func(int, ZoneRow) {}); err == nil {
 		t.Error("nil columnar table accepted")
 	}
 }

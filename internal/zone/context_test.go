@@ -20,7 +20,7 @@ func TestBatchSearchContextPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	hits := 0
-	err = BatchSearchContext(ctx, zt, height, probes, func(int, ZoneRow) { hits++ })
+	err = Sweep(ctx, Rows(zt, height), probes, SweepOptions{Workers: 1}, func(int, ZoneRow) { hits++ })
 	if err == nil {
 		t.Fatal("cancelled sweep completed")
 	}
@@ -44,7 +44,7 @@ func TestBatchSearchContextCancelMidSweep(t *testing.T) {
 	}
 
 	var total int
-	if err := BatchSearch(zt, height, probes, func(int, ZoneRow) { total++ }); err != nil {
+	if err := Sweep(context.Background(), Rows(zt, height), probes, SweepOptions{Workers: 1}, func(int, ZoneRow) { total++ }); err != nil {
 		t.Fatal(err)
 	}
 	if total < 2 {
@@ -53,7 +53,7 @@ func TestBatchSearchContextCancelMidSweep(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	hits := 0
-	err = BatchSearchContext(ctx, zt, height, probes, func(int, ZoneRow) {
+	err = Sweep(ctx, Rows(zt, height), probes, SweepOptions{Workers: 1}, func(int, ZoneRow) {
 		hits++
 		if hits == 1 {
 			cancel()
@@ -83,7 +83,7 @@ func TestParallelBatchSearchContextCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 
-	err = ParallelBatchSearchContext(ctx, zt, height, probes, 4, nil, func(int, ZoneRow) {})
+	err = Sweep(ctx, Rows(zt, height), probes, SweepOptions{Workers: 4}, func(int, ZoneRow) {})
 	if err == nil {
 		t.Fatal("cancelled parallel sweep completed")
 	}
@@ -95,7 +95,7 @@ func TestParallelBatchSearchContextCancelled(t *testing.T) {
 	if ct == nil {
 		t.Fatal("fixture zone table has no columnar projection")
 	}
-	err = ParallelBatchSearchColumnarContext(ctx, ct, height, probes, 4, nil, func(int, ZoneRow) {})
+	err = Sweep(ctx, Columnar(ct, height), probes, SweepOptions{Workers: 4}, func(int, ZoneRow) {})
 	if err == nil {
 		t.Fatal("cancelled columnar parallel sweep completed")
 	}
@@ -114,13 +114,13 @@ func TestParallelBatchSearchContextClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	var want, got []seqCall
-	if err := BatchSearch(zt, height, probes, func(pi int, zr ZoneRow) {
+	if err := Sweep(context.Background(), Rows(zt, height), probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 		want = append(want, seqCall{probe: pi, row: zr})
 	}); err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	if err := ParallelBatchSearchContext(ctx, zt, height, probes, 4, nil, func(pi int, zr ZoneRow) {
+	if err := Sweep(ctx, Rows(zt, height), probes, SweepOptions{Workers: 4}, func(pi int, zr ZoneRow) {
 		got = append(got, seqCall{probe: pi, row: zr})
 	}); err != nil {
 		t.Fatal(err)

@@ -219,10 +219,10 @@ func SearchTable(t *sqldb.Table, heightDeg, raDeg, decDeg, rDeg float64, fn func
 // The registration also wires the TVF's batch path: a SQL join of a probe
 // table against the function — the paper's spGetNearbyObjEqZd cursor shape
 // — lowers in the sqldb planner to a ZoneSweepJoin that answers every
-// probe with one batched sweep (BatchSearch, or BatchSearchColumnar when
-// the zone table carries its column-major projection) instead of one
-// SearchTable descent per row. Sequential sweep; see
-// RegisterNearbyTVFWorkers for the worker-pool variant.
+// probe with one Sweep (over the columnar projection when the zone table
+// carries one, the row store otherwise) instead of one SearchTable
+// descent per row. Sequential sweep; see RegisterNearbyTVFWorkers for the
+// worker-pool variant.
 func RegisterNearbyTVF(db *sqldb.DB, zoneTable *sqldb.Table, heightDeg float64) {
 	RegisterNearbyTVFWorkers(db, zoneTable, heightDeg, 1)
 }
@@ -279,10 +279,7 @@ func RegisterNearbyTVFWorkers(db *sqldb.DB, zoneTable *sqldb.Table, heightDeg fl
 				scratch[1] = sqldb.Float(zr.Distance)
 				emit(pi, scratch)
 			}
-			if ct := zoneTable.Columnar(); ct != nil {
-				return ParallelBatchSearchColumnarContext(ctx, ct, heightDeg, ps, workers, nil, fn)
-			}
-			return ParallelBatchSearchContext(ctx, zoneTable, heightDeg, ps, workers, nil, fn)
+			return Sweep(ctx, TableSource(zoneTable, heightDeg), ps, SweepOptions{Workers: workers}, fn)
 		},
 		Source: zoneTable,
 	})

@@ -1,6 +1,7 @@
 package zone
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -62,7 +63,7 @@ func TestParallelBatchSearchMatchesSequential(t *testing.T) {
 	}
 
 	var want []seqCall
-	if err := BatchSearch(zt, height, probes, func(pi int, zr ZoneRow) {
+	if err := Sweep(context.Background(), Rows(zt, height), probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 		want = append(want, seqCall{probe: pi, row: zr})
 	}); err != nil {
 		t.Fatal(err)
@@ -77,7 +78,7 @@ func TestParallelBatchSearchMatchesSequential(t *testing.T) {
 			// sequence must never change.
 			for rep := 0; rep < 3; rep++ {
 				var got []seqCall
-				err := ParallelBatchSearch(zt, height, probes, workers, func(pi int, zr ZoneRow) {
+				err := Sweep(context.Background(), Rows(zt, height), probes, SweepOptions{Workers: workers}, func(pi int, zr ZoneRow) {
 					got = append(got, seqCall{probe: pi, row: zr})
 				})
 				if err != nil {
@@ -118,7 +119,7 @@ func TestParallelBatchSearchSurvey(t *testing.T) {
 		}
 	}
 	var want []seqCall
-	if err := BatchSearch(zt, astro.ZoneHeightDeg, probes, func(pi int, zr ZoneRow) {
+	if err := Sweep(context.Background(), Rows(zt, astro.ZoneHeightDeg), probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 		want = append(want, seqCall{probe: pi, row: zr})
 	}); err != nil {
 		t.Fatal(err)
@@ -127,7 +128,7 @@ func TestParallelBatchSearchSurvey(t *testing.T) {
 		t.Fatal("fixture matches nothing")
 	}
 	var got []seqCall
-	if err := ParallelBatchSearch(zt, astro.ZoneHeightDeg, probes, 4, func(pi int, zr ZoneRow) {
+	if err := Sweep(context.Background(), Rows(zt, astro.ZoneHeightDeg), probes, SweepOptions{Workers: 4}, func(pi int, zr ZoneRow) {
 		got = append(got, seqCall{probe: pi, row: zr})
 	}); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package zone
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -57,9 +58,9 @@ func sweepOracle(t *testing.T, zt *sqldb.Table, height float64, probes []Probe) 
 	}
 	var err error
 	if ct := zt.Columnar(); ct != nil {
-		err = ParallelBatchSearchColumnar(ct, height, probes, 1, fn)
+		err = Sweep(context.Background(), Columnar(ct, height), probes, SweepOptions{Workers: 1}, fn)
 	} else {
-		err = ParallelBatchSearch(zt, height, probes, 1, fn)
+		err = Sweep(context.Background(), Rows(zt, height), probes, SweepOptions{Workers: 1}, fn)
 	}
 	if err != nil {
 		t.Fatal(err)

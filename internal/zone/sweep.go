@@ -1,0 +1,120 @@
+package zone
+
+import (
+	"context"
+	"errors"
+	"runtime"
+
+	"repro/internal/colstore"
+	"repro/internal/sqldb"
+)
+
+var errNilRowSource = errors.New("zone: nil row zone table")
+
+// Sweep is the single entry point of the batched zone join. It replaced
+// a ten-function matrix (BatchSearch / ParallelBatchSearch / ...Columnar
+// / ...Stats / ...Context variants): the physical access path now lives
+// in the Source, the knobs in SweepOptions, and every caller goes through
+// here.
+//
+// Sweep answers every probe against the zone table in one pass and calls
+// fn(probe index, neighbour row) for each hit. Per probe it emits rows in
+// the same (zone ascending, ra ascending) order as SearchTable, with
+// identical chord arithmetic, so the two paths agree bitwise; hits of
+// different probes interleave. Probes with negative radius match
+// nothing. The output is bit-identical at every worker count: zones are
+// swept concurrently but their hits are emitted in zone order from the
+// calling goroutine, so fn never runs concurrently and needs no locking.
+//
+// The sweep polls ctx between zones (workers poll before claiming their
+// next zone) and stops with an error wrapping ctx.Err() once cancelled,
+// so an abandoned query stops consuming CPU and pool pins mid-sweep. On
+// any error fn has received a clean prefix (by zone) of the sequential
+// call sequence; which zones made the prefix may vary with scheduling,
+// so callers must discard partial results on error.
+func Sweep(ctx context.Context, src Source, probes []Probe, opts SweepOptions, fn func(probe int, zr ZoneRow)) error {
+	if err := src.check(); err != nil {
+		return err
+	}
+	if len(probes) == 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ws, centers, r2s := buildWindows(src.height(), probes)
+	if workers == 1 {
+		return sweepSequential(ctx, src.newSweeper(), ws, centers, r2s, fn)
+	}
+	return sweepParallel(ctx, src.newSweeper, ws, centers, r2s, workers, opts.Stats, fn)
+}
+
+// SweepOptions carries Sweep's knobs; the zero value is a good default.
+type SweepOptions struct {
+	// Workers sizes the sweep's worker pool: 0 selects GOMAXPROCS, 1 the
+	// sequential path (the ablation baseline — also what a parallel sweep
+	// falls back to when the probes collapse into a single zone group).
+	Workers int
+	// Stats, when non-nil, accumulates measurements the sweep cannot
+	// surface through its return value (worker-thread CPU time).
+	Stats *SweepStats
+}
+
+// Source is one physical access path of a zone table: the row-major
+// clustered B+tree or the column-major segment store. Constructors carry
+// the zone height because it is a property of how the table was built,
+// not of an individual sweep. The interface is closed (unexported
+// methods): the two stores below are the only sweepable layouts.
+type Source interface {
+	// check validates the source before a sweep trusts its layout.
+	check() error
+	// height returns the zone height in degrees the table was built with.
+	height() float64
+	// newSweeper returns a fresh per-worker sweeper over this source.
+	newSweeper() zoneSweeper
+}
+
+// Rows returns the Source reading t's row-major clustered B+tree, built
+// with zone height heightDeg.
+func Rows(t *sqldb.Table, heightDeg float64) Source {
+	return rowSource{t: t, heightDeg: heightDeg}
+}
+
+// Columnar returns the Source reading the column-major zone projection
+// ct, built with zone height heightDeg.
+func Columnar(ct *colstore.Table, heightDeg float64) Source {
+	return colSource{ct: ct, heightDeg: heightDeg}
+}
+
+// TableSource returns the best Source for t: its columnar projection
+// when one is attached (and current), otherwise the row store.
+func TableSource(t *sqldb.Table, heightDeg float64) Source {
+	if ct := t.Columnar(); ct != nil {
+		return Columnar(ct, heightDeg)
+	}
+	return Rows(t, heightDeg)
+}
+
+type rowSource struct {
+	t         *sqldb.Table
+	heightDeg float64
+}
+
+func (s rowSource) check() error {
+	if s.t == nil {
+		return errNilRowSource
+	}
+	return nil
+}
+func (s rowSource) height() float64         { return s.heightDeg }
+func (s rowSource) newSweeper() zoneSweeper { return &rowSweeper{t: s.t} }
+
+type colSource struct {
+	ct        *colstore.Table
+	heightDeg float64
+}
+
+func (s colSource) check() error            { return checkColumnarZone(s.ct) }
+func (s colSource) height() float64         { return s.heightDeg }
+func (s colSource) newSweeper() zoneSweeper { return &colSweeper{t: s.ct} }

@@ -1,6 +1,7 @@
 package zone
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -171,7 +172,7 @@ func TestBatchSearchMatchesSearchTable(t *testing.T) {
 				t.Fatal("fixture matches nothing")
 			}
 			got := make([][]ZoneRow, len(tc.probes))
-			err = BatchSearch(zt, tc.height, tc.probes, func(pi int, zr ZoneRow) {
+			err = Sweep(context.Background(), Rows(zt, tc.height), tc.probes, SweepOptions{Workers: 1}, func(pi int, zr ZoneRow) {
 				got[pi] = append(got[pi], zr)
 			})
 			if err != nil {

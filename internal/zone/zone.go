@@ -11,25 +11,24 @@
 // fGetNearbyObjEqZd table-valued function), where buffer-pool I/O is
 // accounted.
 //
-// Three access paths answer neighbour searches against the DB zone table,
-// each the ablation baseline of the next:
+// Two access paths answer neighbour searches against the DB zone table:
 //
 //   - SearchTable: one range scan per probe per overlapping zone (the
-//     paper's literal fGetNearbyObjEqZd plan).
-//   - BatchSearch: many probes answered in one pass — every probe's
+//     paper's literal fGetNearbyObjEqZd plan; the ablation baseline).
+//   - Sweep: many probes answered in one pass — every probe's
 //     (zone, ra-window) obligations sort by (zone, ra) and merge against
-//     the clustered index with one synchronized cursor sweep per zone.
-//   - ParallelBatchSearch: the same sweep on a worker pool. Zones are
-//     disjoint clustered-key ranges, so workers claim them independently,
-//     each with a private cursor over the thread-safe buffer pool;
-//     per-zone hits are buffered and re-emitted in zone order, making the
-//     output bit-identical to BatchSearch at any worker count.
+//     the zone order with one synchronized sweep per zone, optionally on
+//     a worker pool (SweepOptions.Workers). Zones are disjoint ranges, so
+//     workers claim them independently, each with a private cursor and
+//     leaf cache over the thread-safe sharded buffer pool; per-zone hits
+//     are buffered and re-emitted in zone order, making the output
+//     bit-identical at any worker count.
 //
-// The batched sweeps additionally come in a column-major flavour
-// (BatchSearchColumnar / ParallelBatchSearchColumnar) over the colstore
-// zone projection InstallZoneTableColumnar attaches: the chord test
-// iterates packed float slices with no per-row decode, and per-segment
-// min/max ra bounds skip pages no window reaches.
+// Sweep reads either physical representation through its Source argument:
+// Rows (the clustered B+tree) or Columnar (the colstore zone projection
+// InstallZoneTableColumnar attaches, where the chord test iterates packed
+// float slices with no per-row decode and per-segment min/max ra bounds
+// skip pages no window reaches).
 //
 // All paths agree bitwise; equivalence and wraparound-RA tests pin it.
 package zone
