@@ -39,7 +39,8 @@ var (
 	dirFlag       = flag.String("dir", ".", "directory holding BENCH_*.json baselines")
 	benchFlag     = flag.String("bench", "BenchmarkTable1NoPartition", "benchmark to gate on")
 	metricFlag    = flag.String("metric", "elapsed_s", "metric to gate on (elapsed_s, ns_per_op, ...)")
-	thresholdFlag = flag.Float64("threshold", 0.20, "fail when metric exceeds baseline by this fraction")
+	thresholdFlag = flag.Float64("threshold", 0.20, "fail when metric regresses past baseline by this fraction")
+	directionFlag = flag.String("direction", "lower", "which way is better: lower (latency, io) or higher (throughput)")
 	outFlag       = flag.String("out", "", "write a fresh snapshot JSON here (empty = skip)")
 	noteFlag      = flag.String("note", "CI benchmark snapshot (benchgate)", "note stored in the snapshot")
 	summaryFlag   = flag.String("summary", "", "append a markdown per-metric delta table here (empty = $GITHUB_STEP_SUMMARY if set)")
@@ -143,13 +144,21 @@ func latestBaseline(dir string) (string, error) {
 }
 
 // gate compares candidate against baseline and returns a human-readable
-// verdict plus whether the gate passes.
-func gate(baseline, candidate, threshold float64) (string, bool) {
+// verdict plus whether the gate passes. For lower-is-better metrics
+// (latency, io) the candidate may exceed the baseline by at most the
+// threshold fraction; with higherIsBetter (throughput) it may fall short
+// of the baseline by at most that fraction.
+func gate(baseline, candidate, threshold float64, higherIsBetter bool) (string, bool) {
 	limit := baseline * (1 + threshold)
+	pass := candidate <= limit
+	if higherIsBetter {
+		limit = baseline * (1 - threshold)
+		pass = candidate >= limit
+	}
 	ratio := candidate / baseline
 	verdict := fmt.Sprintf("baseline %.4g, candidate %.4g (%.1f%% of baseline, limit %.4g)",
 		baseline, candidate, ratio*100, limit)
-	return verdict, candidate <= limit
+	return verdict, pass
 }
 
 // deltaTable renders a markdown table of every metric the baseline and
@@ -253,7 +262,15 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("benchgate: bench output has no metric %s for %s", *metricFlag, *benchFlag)
 	}
-	verdict, pass := gate(baseVal, candVal, *thresholdFlag)
+	higher := false
+	switch *directionFlag {
+	case "lower":
+	case "higher":
+		higher = true
+	default:
+		return fmt.Errorf("benchgate: -direction must be lower or higher, got %q", *directionFlag)
+	}
+	verdict, pass := gate(baseVal, candVal, *thresholdFlag, higher)
 	fmt.Printf("benchgate: %s %s vs %s: %s\n", *benchFlag, *metricFlag, filepath.Base(basePath), verdict)
 
 	if summary := summaryPath(); summary != "" {

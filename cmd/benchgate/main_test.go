@@ -89,17 +89,23 @@ func TestLatestBaseline(t *testing.T) {
 func TestGate(t *testing.T) {
 	cases := []struct {
 		base, cand, threshold float64
+		higher                bool
 		pass                  bool
 	}{
-		{1.0, 1.0, 0.20, true},
-		{1.0, 1.19, 0.20, true},
-		{1.0, 1.21, 0.20, false},
-		{1.0, 0.5, 0.20, true}, // improvements always pass
-		{0.38, 0.47, 0.20, false},
+		{1.0, 1.0, 0.20, false, true},
+		{1.0, 1.19, 0.20, false, true},
+		{1.0, 1.21, 0.20, false, false},
+		{1.0, 0.5, 0.20, false, true}, // improvements always pass
+		{0.38, 0.47, 0.20, false, false},
+		// higher-is-better (throughput): shortfall past the threshold fails
+		{1000, 1000, 0.20, true, true},
+		{1000, 810, 0.20, true, true},
+		{1000, 790, 0.20, true, false},
+		{1000, 5000, 0.20, true, true}, // improvements always pass
 	}
 	for _, c := range cases {
-		if _, pass := gate(c.base, c.cand, c.threshold); pass != c.pass {
-			t.Errorf("gate(%g, %g, %g) pass = %v, want %v", c.base, c.cand, c.threshold, pass, c.pass)
+		if _, pass := gate(c.base, c.cand, c.threshold, c.higher); pass != c.pass {
+			t.Errorf("gate(%g, %g, %g, %v) pass = %v, want %v", c.base, c.cand, c.threshold, c.higher, pass, c.pass)
 		}
 	}
 }

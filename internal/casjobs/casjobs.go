@@ -475,6 +475,52 @@ func (s *Server) Contexts() []string {
 	return out
 }
 
+// TableInfo describes one table as a single database snapshot saw it.
+type TableInfo struct {
+	Name string `json:"name"`
+	Rows int64  `json:"rows"`
+}
+
+// Tables lists a context's tables with their row counts — the user's
+// MyDB when context is "MYDB", a shared catalog otherwise. The whole
+// listing reads one snapshot: names and counts come from the same set of
+// published table versions, so a bulk load, DROP, or RENAME racing the
+// call can never yield a name whose count is missing or taken from a
+// different state. Fails with ErrUnknownUser / ErrUnknownContext.
+func (s *Server) Tables(userName, context string) ([]TableInfo, error) {
+	s.mu.Lock()
+	var db *sqldb.DB
+	if strings.ToUpper(context) == "MYDB" {
+		u, ok := s.users[strings.ToLower(userName)]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownUser, userName)
+		}
+		db = u.mydb
+	} else {
+		ctxDB, ok := s.contexts[strings.ToUpper(context)]
+		if !ok {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownContext, context)
+		}
+		db = ctxDB
+	}
+	s.mu.Unlock()
+
+	snap := db.Snapshot()
+	defer snap.Close()
+	names := snap.TableNames()
+	out := make([]TableInfo, 0, len(names))
+	for _, name := range names {
+		tv, ok := snap.View(name)
+		if !ok {
+			continue // unreachable: the snapshot's catalog is immutable
+		}
+		out = append(out, TableInfo{Name: name, Rows: tv.NumRows()})
+	}
+	return out, nil
+}
+
 // allowLocked refills and debits the user's token bucket. Callers hold
 // Server.mu.
 func (s *Server) allowLocked(u *user) bool {

@@ -22,6 +22,8 @@ import (
 //	GET  /jobs?id=1                              one job's status/result
 //	GET  /jobs?user=maria                        a user's job list
 //	GET  /contexts                               shared context names
+//	GET  /tables?user=&context=MYDB              table names + row counts,
+//	                                             all from one snapshot
 //
 // Admission failures map onto status codes: unknown user/context/job are
 // 404, rate limiting is 429, a full queue or a draining server is 503,
@@ -31,6 +33,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/users", s.handleUsers)
 	mux.HandleFunc("/contexts", s.handleContexts)
+	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/submit", s.handleSubmit)
 	mux.HandleFunc("/cancel", s.handleCancel)
 	mux.HandleFunc("/jobs", s.handleJobs)
@@ -67,6 +70,16 @@ func (s *Server) handleUsers(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleContexts(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.Contexts())
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	tables, err := s.Tables(q.Get("user"), q.Get("context"))
+	if err != nil {
+		httpError(w, statusFromErr(err), err.Error())
+		return
+	}
+	writeJSON(w, tables)
 }
 
 // submitRequest is the JSON submission body. Fields left empty fall back

@@ -339,3 +339,53 @@ func TestHTTPRateLimitAndDraining(t *testing.T) {
 		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestHTTPTables covers the snapshot-consistent listing endpoint: shared
+// contexts and MyDBs list names with row counts from one snapshot, and
+// unknown users or contexts 404 cleanly.
+func TestHTTPTables(t *testing.T) {
+	ts, srv := newHTTPServer(t)
+
+	resp, err := http.Get(ts.URL + "/tables?context=DR1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []TableInfo
+	decode(t, resp, &tables)
+	if len(tables) != 1 || tables[0].Name != "galaxy" || tables[0].Rows != 50 {
+		t.Errorf("DR1 tables = %+v", tables)
+	}
+
+	for _, bad := range []string{"/tables?context=DR9", "/tables?context=MYDB&user=nobody"} {
+		resp, err := http.Get(ts.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s status = %d, want 404", bad, resp.StatusCode)
+		}
+	}
+
+	if err := srv.CreateUser("maria"); err != nil {
+		t.Fatal(err)
+	}
+	mydb, err := srv.MyDB("maria")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mydb.Exec("CREATE TABLE notes (id bigint PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mydb.Exec("INSERT INTO notes VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/tables?context=MYDB&user=maria")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, &tables)
+	if len(tables) != 1 || tables[0].Name != "notes" || tables[0].Rows != 1 {
+		t.Errorf("MyDB tables = %+v", tables)
+	}
+}

@@ -412,3 +412,93 @@ func TestQuickSubmitIsSynchronous(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", job.Elapsed())
 }
+
+// TestMaterializeConcurrentReaders extends the atomicity pin to readers
+// racing the swap: while materialisations repeatedly replace dest (and
+// one faulted attempt fails mid-load), concurrent COUNT/SUM queries over
+// dest only ever observe a fully published result set — never a torn
+// state, a half-loaded staging table, or a vanished table.
+func TestMaterializeConcurrentReaders(t *testing.T) {
+	defer faultinject.Reset()
+	srv, mydb := newRobustServer(t, Config{QuickWorkers: 1, LongWorkers: 1, MaxRetries: 0})
+
+	queries := []string{
+		"SELECT id, x FROM big WHERE id < 10",
+		"SELECT id, x FROM big WHERE id >= 100",
+	}
+	type state struct{ count, sum int64 }
+	legal := make(map[state]bool)
+	for _, q := range queries {
+		rows, err := mydb.Query(strings.Replace(q, "id, x", "COUNT(*), SUM(id)", 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows.Next()
+		legal[state{rows.Row()[0].I, rows.Row()[1].I}] = true
+	}
+
+	// Seed dest so readers always have a table to observe.
+	seed, err := srv.Submit("ana", "MYDB", queries[0], "dest", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := srv.Wait(seed.ID); st != StatusFinished {
+		t.Fatalf("seed job = %s (%s)", st, seed.Err())
+	}
+
+	var stop atomic.Bool
+	var torn atomic.Pointer[string]
+	report := func(msg string) { torn.CompareAndSwap(nil, &msg) }
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				rows, err := mydb.Query("SELECT COUNT(*), SUM(id) FROM dest")
+				if err != nil {
+					report(fmt.Sprintf("reader error: %v", err))
+					return
+				}
+				rows.Next()
+				st := state{rows.Row()[0].I, rows.Row()[1].I}
+				if !legal[st] {
+					report(fmt.Sprintf("torn read: count=%d sum=%d", st.count, st.sum))
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 1; i <= 12; i++ {
+		fault := i == 6
+		if fault {
+			faultinject.Enable("casjobs/mydb-alloc2", faultinject.Failpoint{Prob: 1})
+			mydb.Pool().SetFaultHooks(&storage.FaultHooks{Alloc: faultinject.Hook("casjobs/mydb-alloc2")})
+		}
+		job, err := srv.Submit("ana", "MYDB", queries[i%2], "dest", false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _ := srv.Wait(job.ID)
+		if fault {
+			mydb.Pool().SetFaultHooks(nil)
+			faultinject.Disable("casjobs/mydb-alloc2")
+			if st != StatusFailed {
+				t.Fatalf("faulted job %d = %s", i, st)
+			}
+		} else if st != StatusFinished {
+			t.Fatalf("job %d = %s (%s)", i, st, job.Err())
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if msg := torn.Load(); msg != nil {
+		t.Fatal(*msg)
+	}
+	for _, name := range mydb.TableNames() {
+		if strings.Contains(name, "__casjobs_stage") {
+			t.Fatalf("staging table %q left behind", name)
+		}
+	}
+}

@@ -168,6 +168,8 @@ func (b *SortedRunBuilder) Emit(fn func(key, value []byte) error) error {
 // Rowids (and therefore the scan order of equal clustered keys) are
 // assigned in slice order, matching a sequence of Insert calls, and
 // subsequent Insert calls continue from the correct rowid and identity.
+// The rebuilt tree publishes as one new version: concurrent readers keep
+// the version they started with, and a failed load publishes nothing.
 func (t *Table) BulkInsert(rows [][]Value) error {
 	return t.BulkInsertFunc(len(rows), func(i int) []Value { return rows[i] })
 }
@@ -179,36 +181,104 @@ func (t *Table) BulkInsert(rows [][]Value) error {
 // are derived from an in-memory source (spZone, spImportGalaxy) stream
 // through one scratch row instead of allocating n of them.
 func (t *Table) BulkInsertFunc(n int, rowAt func(i int) []Value) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	oldRowID, oldIdentity := t.nextRowID, t.nextIdentity
-	if err := t.bulkInsertLocked(n, rowAt); err != nil {
-		// No rows landed, so no ids were really consumed: put the counters
-		// back so a corrected retry numbers rows as if the failed batch
-		// never happened.
-		t.nextRowID, t.nextIdentity = oldRowID, oldIdentity
-		return err
-	}
-	return nil
-}
-
-func (t *Table) bulkInsertLocked(n int, rowAt func(i int) []Value) error {
 	if n == 0 {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.version.Load()
+	nv, err := t.mergedVersion(v, n, rowAt)
+	if err != nil {
+		return err
+	}
+	t.publishLocked(v, nv)
+	return nil
+}
+
+// mergedVersion builds the version that BulkInsert publishes: v's rows
+// (tree plus overlay) merged with n new ones into a fresh bulk-built
+// tree. On error nothing is published and the abandoned pages are
+// deallocated immediately.
+func (t *Table) mergedVersion(v *tableVersion, n int, rowAt func(i int) []Value) (*tableVersion, error) {
+	nv := *v
+	nv.seq++
+	b, err := t.encodeRun(&nv, n, rowAt)
+	if err != nil {
+		return nil, err
+	}
+	tree, pages, added, err := t.buildTree(v, b, v.unique)
+	if err != nil {
+		return nil, err
+	}
+	nv.tree, nv.treePages, nv.treeRows = tree, pages, v.rows()+added
+	nv.delta = nil
+	nv.columnar = nil // the projection no longer covers every row
+	return &nv, nil
+}
+
+// flushedVersion merges v's tree and overlay into a fresh tree — the
+// overlay-threshold compaction Insert triggers. Row set, counters, and
+// key layout are unchanged; no uniqueness re-check is needed because
+// overlay and tree keys are disjoint by construction.
+func (t *Table) flushedVersion(v *tableVersion) (*tableVersion, error) {
+	tree, pages, _, err := t.buildTree(v, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	nv := *v
+	nv.tree, nv.treePages, nv.treeRows = tree, pages, v.rows()
+	nv.delta = nil
+	return &nv, nil
+}
+
+// rebuiltVersion builds a replace-everything version (ReplaceAll,
+// Recluster): rowids and identity restart at 1 and the previous contents
+// do not carry over. keyCols/unique become the new version's key layout,
+// so a reclustering publishes ordering and layout in one atomic step.
+func (t *Table) rebuiltVersion(v *tableVersion, keyCols []int, unique bool, n int, rowAt func(i int) []Value) (*tableVersion, error) {
+	nv := &tableVersion{
+		seq: v.seq + 1, keyCols: keyCols, unique: unique,
+		nextRowID: 1, nextIdentity: 1,
+	}
+	if n == 0 {
+		tree, err := storage.NewBTree(t.pool)
+		if err != nil {
+			return nil, err
+		}
+		nv.tree, nv.treePages = tree, []storage.PageID{tree.Root()}
+		return nv, nil
+	}
+	b, err := t.encodeRun(nv, n, rowAt)
+	if err != nil {
+		return nil, err
+	}
+	tree, pages, added, err := t.buildTree(nil, b, unique)
+	if err != nil {
+		return nil, err
+	}
+	nv.tree, nv.treePages, nv.treeRows = tree, pages, added
+	return nv, nil
+}
+
+// encodeRun encodes n rows into a sorted run, assigning rowids and
+// identity values from (and advancing) nv's counters and encoding keys
+// with nv's key layout. nv is the under-construction version, private to
+// the calling writer.
+func (t *Table) encodeRun(nv *tableVersion, n int, rowAt func(i int) []Value) (*SortedRunBuilder, error) {
 	b := NewSortedRunBuilder()
+	tv := TableView{t: t, v: nv}
 	vals := make([]Value, len(t.Cols))
 	var keyBuf, rowBuf []byte // per-row scratch; Add copies into the run slab
 	for ri := 0; ri < n; ri++ {
 		row := rowAt(ri)
 		if len(row) != len(t.Cols) {
-			return fmt.Errorf("sqldb: INSERT into %s has %d values for %d columns", t.Name, len(row), len(t.Cols))
+			return nil, fmt.Errorf("sqldb: INSERT into %s has %d values for %d columns", t.Name, len(row), len(t.Cols))
 		}
 		copy(vals, row)
 		for i, c := range t.Cols {
 			if c.Identity && vals[i].IsNull() {
-				vals[i] = Int(t.nextIdentity)
-				t.nextIdentity++
+				vals[i] = Int(nv.nextIdentity)
+				nv.nextIdentity++
 			}
 			if !vals[i].NeedsCoerce(c.Type) {
 				continue // bulk ingest's common case: already typed
@@ -216,50 +286,62 @@ func (t *Table) bulkInsertLocked(n int, rowAt func(i int) []Value) error {
 			var err error
 			vals[i], err = vals[i].CoerceTo(c.Type)
 			if err != nil {
-				return fmt.Errorf("sqldb: table %s column %s: %w", t.Name, c.Name, err)
+				return nil, fmt.Errorf("sqldb: table %s column %s: %w", t.Name, c.Name, err)
 			}
 		}
-		rowid := t.nextRowID
-		t.nextRowID++
-		key, err := t.appendKey(keyBuf[:0], vals, rowid)
+		rowid := nv.nextRowID
+		nv.nextRowID++
+		key, err := tv.appendKey(keyBuf[:0], vals, rowid)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		keyBuf = key
 		data, err := appendRow(rowBuf[:0], t.Cols, vals)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		rowBuf = data
 		b.Add(key, data)
 	}
-	return t.loadRunLocked(b)
+	return b, nil
 }
 
-// loadRunLocked replaces t.tree with a bulk-loaded tree holding the
-// existing rows merged with the builder's pairs. Caller holds t.mu. On
-// error the table is left unchanged (the old tree stays in place).
-func (t *Table) loadRunLocked(b *SortedRunBuilder) error {
+// buildTree streams the union of v's rows (tree plus overlay; nil v or an
+// empty one means a fresh load) and the builder's pairs (nil b means
+// none) into a fresh bulk-built tree, returning the tree, its complete
+// page inventory, and the count of builder pairs loaded. On error the
+// partially built pages are deallocated before returning — they were
+// never published, so nothing can reference them.
+func (t *Table) buildTree(v *tableVersion, b *SortedRunBuilder, unique bool) (*storage.BTree, []storage.PageID, int64, error) {
 	loader, err := storage.NewBulkLoader(t.pool)
 	if err != nil {
-		return err
+		return nil, nil, 0, err
+	}
+	abort := func() {
+		loader.Abort()
+		for _, id := range loader.Pages() {
+			_ = t.pool.Dealloc(id)
+		}
 	}
 	var added int64
 	var prevKey []byte
 	add := func(key, value []byte) error {
-		if t.Unique && prevKey != nil && bytes.Equal(prevKey, key) {
+		if unique && prevKey != nil && bytes.Equal(prevKey, key) {
 			return fmt.Errorf("sqldb: duplicate primary key in table %s", t.Name)
 		}
 		prevKey = append(prevKey[:0], key...)
 		return loader.Add(key, value)
 	}
-	if t.rows == 0 {
+	if b == nil {
+		b = NewSortedRunBuilder()
+	}
+	if v == nil || v.rows() == 0 {
 		err = b.Emit(func(key, value []byte) error {
 			added++
 			return add(key, value)
 		})
 	} else {
-		err = t.mergeExistingLocked(b, func(key, value []byte, fresh bool) error {
+		err = t.mergeVersion(v, b, func(key, value []byte, fresh bool) error {
 			if fresh {
 				added++
 			}
@@ -267,49 +349,64 @@ func (t *Table) loadRunLocked(b *SortedRunBuilder) error {
 		})
 	}
 	if err != nil {
-		loader.Abort()
-		return err
+		abort()
+		return nil, nil, 0, err
 	}
 	tree, err := loader.Finish()
 	if err != nil {
-		return err
+		return nil, nil, 0, err
 	}
-	t.tree = tree
-	t.rows += added
-	t.columnar = nil // the projection no longer covers every row
-	return nil
+	return tree, loader.Pages(), added, nil
 }
 
-// mergeExistingLocked streams the union of the table's current rows and the
-// builder's pairs in ascending key order. Existing rows win ties so a
-// unique-key duplicate in the batch surfaces as two consecutive equal keys.
-func (t *Table) mergeExistingLocked(b *SortedRunBuilder, fn func(key, value []byte, fresh bool) error) error {
-	cur, err := t.tree.First()
+// mergeVersion streams the union of v's rows (its tree merged with its
+// sorted overlay — disjoint key sets) and the builder's pairs in
+// ascending key order. Existing rows win ties so a unique-key duplicate
+// in the batch surfaces as two consecutive equal keys.
+func (t *Table) mergeVersion(v *tableVersion, b *SortedRunBuilder, fn func(key, value []byte, fresh bool) error) error {
+	cur, err := v.tree.First()
 	if err != nil {
 		return err
 	}
 	defer cur.Close()
-	err = b.Emit(func(key, value []byte) error {
-		for cur.Valid() && bytes.Compare(cur.Key(), key) <= 0 {
-			if err := fn(cur.Key(), cur.Value(), false); err != nil {
+	delta, di := v.delta, 0
+	// emitExistingTo streams existing pairs with key <= bound (all of them
+	// when bound is nil), taking the smaller of the tree's and overlay's
+	// current key at each step.
+	emitExistingTo := func(bound []byte) error {
+		for {
+			treeOK := cur.Valid()
+			deltaOK := di < len(delta)
+			if !treeOK && !deltaOK {
+				return nil
+			}
+			useDelta := deltaOK && (!treeOK || bytes.Compare(delta[di].key, cur.Key()) < 0)
+			var k, val []byte
+			if useDelta {
+				k, val = delta[di].key, delta[di].val
+			} else {
+				k, val = cur.Key(), cur.Value()
+			}
+			if bound != nil && bytes.Compare(k, bound) > 0 {
+				return nil
+			}
+			if err := fn(k, val, false); err != nil {
 				return err
 			}
-			if err := cur.Next(); err != nil {
+			if useDelta {
+				di++
+			} else if err := cur.Next(); err != nil {
 				return err
 			}
+		}
+	}
+	if err := b.Emit(func(key, value []byte) error {
+		if err := emitExistingTo(key); err != nil {
+			return err
 		}
 		return fn(key, value, true)
-	})
-	if err != nil {
+	}); err != nil {
 		return err
 	}
-	for cur.Valid() {
-		if err := fn(cur.Key(), cur.Value(), false); err != nil {
-			return err
-		}
-		if err := cur.Next(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return emitExistingTo(nil)
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage"
 )
@@ -12,13 +13,70 @@ import (
 // DB is a single-namespace SQL database: the engine's equivalent of one
 // SQL Server instance (or one CasJobs MyDB). Open gives an in-memory
 // database; OpenAt persists pages to a file.
+//
+// Reads are snapshot-isolated and never block on writers. The catalog is
+// an immutable value behind an atomic pointer (DDL clones and swaps it),
+// each table's contents are an immutable version behind its own atomic
+// pointer, and a query pins both through one Snapshot taken at query
+// start. Superseded versions' pages are reclaimed by a storage.Reclaimer
+// once the last snapshot that could reach them closes.
 type DB struct {
-	mu      sync.RWMutex
-	pool    *storage.Pool
+	pool *storage.Pool
+	rec  *storage.Reclaimer
+
+	ddl sync.Mutex // serialises catalog transitions (one clone-and-swap at a time)
+	cat atomic.Pointer[catalog]
+}
+
+// catalog is one immutable published state of the database's namespace:
+// tables, registered functions, and planner knobs. DDL never mutates a
+// published catalog — it clones, edits the clone, and swaps the pointer —
+// so a Snapshot's name resolution is stable for the whole query.
+type catalog struct {
 	tables  map[string]*Table
 	scalars map[string]ScalarFunc
 	tvfs    map[string]*TVF
 	knobs   PlannerKnobs
+}
+
+func newCatalog() *catalog {
+	return &catalog{
+		tables:  make(map[string]*Table),
+		scalars: make(map[string]ScalarFunc),
+		tvfs:    make(map[string]*TVF),
+	}
+}
+
+func (c *catalog) clone() *catalog {
+	nc := &catalog{
+		tables:  make(map[string]*Table, len(c.tables)+1),
+		scalars: make(map[string]ScalarFunc, len(c.scalars)+1),
+		tvfs:    make(map[string]*TVF, len(c.tvfs)+1),
+		knobs:   c.knobs,
+	}
+	for k, v := range c.tables {
+		nc.tables[k] = v
+	}
+	for k, v := range c.scalars {
+		nc.scalars[k] = v
+	}
+	for k, v := range c.tvfs {
+		nc.tvfs[k] = v
+	}
+	return nc
+}
+
+// updateCatalog runs one clone-edit-swap catalog transition. fn edits the
+// clone in place; an error discards it and publishes nothing.
+func (db *DB) updateCatalog(fn func(c *catalog) error) error {
+	db.ddl.Lock()
+	defer db.ddl.Unlock()
+	nc := db.cat.Load().clone()
+	if err := fn(nc); err != nil {
+		return err
+	}
+	db.cat.Store(nc)
+	return nil
 }
 
 // PoolConfig sizes the database's buffer pool.
@@ -45,12 +103,10 @@ func Open(frames int) *DB { return OpenPool(PoolConfig{Frames: frames}) }
 // OpenPool creates an in-memory database with an explicitly configured
 // buffer pool.
 func OpenPool(cfg PoolConfig) *DB {
-	return &DB{
-		pool:    storage.NewPool(storage.NewMemStore(), cfg.options()),
-		tables:  make(map[string]*Table),
-		scalars: make(map[string]ScalarFunc),
-		tvfs:    make(map[string]*TVF),
-	}
+	pool := storage.NewPool(storage.NewMemStore(), cfg.options())
+	db := &DB{pool: pool, rec: storage.NewReclaimer(pool)}
+	db.cat.Store(newCatalog())
+	return db
 }
 
 // OpenAt creates a file-backed database at path. The catalog itself is not
@@ -67,12 +123,10 @@ func OpenAtPool(path string, cfg PoolConfig) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
-		pool:    storage.NewPool(store, cfg.options()),
-		tables:  make(map[string]*Table),
-		scalars: make(map[string]ScalarFunc),
-		tvfs:    make(map[string]*TVF),
-	}, nil
+	pool := storage.NewPool(store, cfg.options())
+	db := &DB{pool: pool, rec: storage.NewReclaimer(pool)}
+	db.cat.Store(newCatalog())
+	return db, nil
 }
 
 // Pool exposes the buffer pool, whose Stats feed the benchmark tables.
@@ -81,23 +135,91 @@ func (db *DB) Pool() *storage.Pool { return db.pool }
 // Stats returns the pool counters.
 func (db *DB) Stats() storage.Stats { return db.pool.Stats() }
 
-// Table returns the named table.
+// Reclaimer exposes the deferred page reclaimer; tests use its Pending
+// counter to pin the version-retirement lifecycle.
+func (db *DB) Reclaimer() *storage.Reclaimer { return db.rec }
+
+// Table returns the named table from the current catalog.
 func (db *DB) Table(name string) (*Table, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tables[strings.ToLower(name)]
+	t, ok := db.cat.Load().tables[strings.ToLower(name)]
 	return t, ok
 }
 
-// TableNames lists the catalog's tables.
+// TableNames lists the current catalog's tables. For a listing that stays
+// consistent with subsequent per-table reads, take a Snapshot instead.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tables))
-	for _, t := range db.tables {
+	cat := db.cat.Load()
+	out := make([]string, 0, len(cat.tables))
+	for _, t := range cat.tables {
 		out = append(out, t.Name)
 	}
 	return out
+}
+
+// Snapshot pins one consistent view of the database: the catalog as of
+// the call, plus — resolved lazily, at most once per table — one
+// immutable version of each table the caller touches. Taking a snapshot
+// is O(1) and never blocks writers; writers keep publishing while the
+// snapshot reads the versions it captured. Close releases the snapshot's
+// reclaimer guard; pages of superseded versions are only deallocated
+// after every snapshot that could reach them has closed.
+//
+// A Snapshot is not safe for concurrent use by multiple goroutines (each
+// query takes its own).
+type Snapshot struct {
+	db    *DB
+	cat   *catalog
+	guard *storage.Guard
+	views map[string]TableView
+}
+
+// Snapshot captures the current catalog under a reclaimer guard. The
+// guard is entered before the catalog pointer is loaded, so every version
+// later resolved through the snapshot is pinned: any retirement that
+// could free those pages is stamped at or after this guard's ticket.
+func (db *DB) Snapshot() *Snapshot {
+	g := db.rec.Enter()
+	return &Snapshot{db: db, cat: db.cat.Load(), guard: g}
+}
+
+// View resolves the named table to the version this snapshot reads. The
+// first call per table loads the table's current version; repeats return
+// the same view, so a query that mentions a table twice (a self-join)
+// sees one version.
+func (s *Snapshot) View(name string) (TableView, bool) {
+	key := strings.ToLower(name)
+	if tv, ok := s.views[key]; ok {
+		return tv, true
+	}
+	t, ok := s.cat.tables[key]
+	if !ok {
+		return TableView{}, false
+	}
+	tv := t.View()
+	if s.views == nil {
+		s.views = make(map[string]TableView)
+	}
+	s.views[key] = tv
+	return tv, true
+}
+
+// TableNames lists the snapshot catalog's tables.
+func (s *Snapshot) TableNames() []string {
+	out := make([]string, 0, len(s.cat.tables))
+	for _, t := range s.cat.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Close releases the snapshot's guard. Idempotent; must be called once
+// the query is done with every cursor opened through the snapshot.
+func (s *Snapshot) Close() { s.guard.Release() }
+
+// tvf resolves a table-valued function from the snapshot catalog.
+func (s *Snapshot) tvf(name string) (*TVF, bool) {
+	t, ok := s.cat.tvfs[strings.ToUpper(name)]
+	return t, ok
 }
 
 // CreateTable creates a table programmatically. pkCol may be empty.
@@ -116,17 +238,13 @@ func (db *DB) CreateTable(name string, cols []Column, pkCol string) (*Table, err
 			return nil, fmt.Errorf("sqldb: PRIMARY KEY column %q not in column list", pkCol)
 		}
 	}
-	t, err := newTable(db.pool, name, cols, keyCols, unique)
+	t, err := newTable(db.pool, db.rec, name, cols, keyCols, unique)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(name)
-	if _, exists := db.tables[key]; exists {
-		return nil, fmt.Errorf("sqldb: table %s already exists", name)
+	if err := db.installTable(t); err != nil {
+		return nil, err
 	}
-	db.tables[key] = t
 	return t, nil
 }
 
@@ -149,82 +267,102 @@ func (db *DB) CreateTableClustered(name string, cols []Column, keyCols []string)
 		}
 		idx[i] = found
 	}
-	t, err := newTable(db.pool, name, cols, idx, false)
+	t, err := newTable(db.pool, db.rec, name, cols, idx, false)
 	if err != nil {
 		return nil, err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(name)
-	if _, exists := db.tables[key]; exists {
-		return nil, fmt.Errorf("sqldb: table %s already exists", name)
+	if err := db.installTable(t); err != nil {
+		return nil, err
 	}
-	db.tables[key] = t
 	return t, nil
+}
+
+func (db *DB) installTable(t *Table) error {
+	return db.updateCatalog(func(c *catalog) error {
+		key := strings.ToLower(t.Name)
+		if _, exists := c.tables[key]; exists {
+			return fmt.Errorf("sqldb: table %s already exists", t.Name)
+		}
+		c.tables[key] = t
+		return nil
+	})
 }
 
 // RenameTable atomically renames a catalog entry, replacing any existing
 // table under the new name. It is the commit step of the stage-and-swap
 // pattern: load a fresh table under a scratch name, then rename it over
 // the target, so readers observe either the complete old table or the
-// complete new one — never a half-loaded middle state.
+// complete new one — never a half-loaded middle state. The rename
+// publishes a new handle; queries already planned keep the name and the
+// version they bound.
 func (db *DB) RenameTable(oldName, newName string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	oldKey, newKey := strings.ToLower(oldName), strings.ToLower(newName)
-	t, ok := db.tables[oldKey]
-	if !ok {
-		return fmt.Errorf("sqldb: table %s does not exist", oldName)
-	}
-	if oldKey == newKey {
-		return nil
-	}
-	delete(db.tables, oldKey)
-	t.Name = newName
-	db.tables[newKey] = t
-	return nil
-}
-
-// DropTable removes a table from the catalog.
-func (db *DB) DropTable(name string, ifExists bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	key := strings.ToLower(name)
-	if _, ok := db.tables[key]; !ok {
-		if ifExists {
+	var replaced *Table
+	err := db.updateCatalog(func(c *catalog) error {
+		oldKey, newKey := strings.ToLower(oldName), strings.ToLower(newName)
+		t, ok := c.tables[oldKey]
+		if !ok {
+			return fmt.Errorf("sqldb: table %s does not exist", oldName)
+		}
+		if oldKey == newKey {
 			return nil
 		}
-		return fmt.Errorf("sqldb: table %s does not exist", name)
+		replaced = c.tables[newKey] // nil when the target name was free
+		delete(c.tables, oldKey)
+		c.tables[newKey] = t.renamed(newName)
+		return nil
+	})
+	if err == nil && replaced != nil {
+		replaced.retireContents()
 	}
-	delete(db.tables, key)
-	return nil
+	return err
+}
+
+// DropTable removes a table from the catalog and schedules its pages for
+// reclamation.
+func (db *DB) DropTable(name string, ifExists bool) error {
+	var dropped *Table
+	err := db.updateCatalog(func(c *catalog) error {
+		key := strings.ToLower(name)
+		t, ok := c.tables[key]
+		if !ok {
+			if ifExists {
+				return nil
+			}
+			return fmt.Errorf("sqldb: table %s does not exist", name)
+		}
+		dropped = t
+		delete(c.tables, key)
+		return nil
+	})
+	if err == nil && dropped != nil {
+		dropped.retireContents()
+	}
+	return err
 }
 
 // RegisterScalar installs a scalar UDF callable from SQL (case-insensitive).
 func (db *DB) RegisterScalar(name string, fn ScalarFunc) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.scalars[strings.ToUpper(name)] = fn
+	_ = db.updateCatalog(func(c *catalog) error {
+		c.scalars[strings.ToUpper(name)] = fn
+		return nil
+	})
 }
 
 // RegisterTVF installs a table-valued function callable in FROM clauses.
 func (db *DB) RegisterTVF(name string, tvf *TVF) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.tvfs[strings.ToUpper(name)] = tvf
+	_ = db.updateCatalog(func(c *catalog) error {
+		c.tvfs[strings.ToUpper(name)] = tvf
+		return nil
+	})
 }
 
 func (db *DB) scalarFunc(name string) (ScalarFunc, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	fn, ok := db.scalars[strings.ToUpper(name)]
+	fn, ok := db.cat.Load().scalars[strings.ToUpper(name)]
 	return fn, ok
 }
 
 func (db *DB) tvf(name string) (*TVF, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tvfs[strings.ToUpper(name)]
+	t, ok := db.cat.Load().tvfs[strings.ToUpper(name)]
 	return t, ok
 }
 
@@ -263,6 +401,9 @@ func (db *DB) QueryIter(sql string, args ...Value) (*RowIter, error) {
 
 // QueryIterContext is QueryIter under a context; after cancellation the
 // iterator's Next returns false and Err reports the wrapped ctx.Err().
+// The iterator owns the query's snapshot: rows stream from the versions
+// pinned at this call no matter what is written meanwhile, and Close
+// releases the pin.
 func (db *DB) QueryIterContext(ctx context.Context, sql string, args ...Value) (*RowIter, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
@@ -272,11 +413,13 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string, args ...Value) (
 	if !ok {
 		return nil, fmt.Errorf("sqldb: QueryIter requires a SELECT statement")
 	}
-	op, cols, err := db.planSelect(ctx, sel, args)
+	snap := db.Snapshot()
+	op, cols, err := db.planSelect(ctx, sel, args, snap)
 	if err != nil {
+		snap.Close()
 		return nil, err
 	}
-	return &RowIter{cols: cols, op: op}, nil
+	return &RowIter{cols: cols, op: op, snap: snap}, nil
 }
 
 // Explain compiles a SELECT (a bare one, or an EXPLAIN [ANALYZE] wrapper)
@@ -310,7 +453,9 @@ func (db *DB) Explain(sql string, args ...Value) (string, error) {
 // execExplain plans (and under ANALYZE, runs) the wrapped SELECT, then
 // renders the operator tree one line per row.
 func (db *DB) execExplain(ctx context.Context, s *ExplainStmt, params []Value) (*Rows, error) {
-	op, _, err := db.planSelect(ctx, s.Query, params)
+	snap := db.Snapshot()
+	defer snap.Close()
+	op, _, err := db.planSelect(ctx, s.Query, params, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -473,7 +618,9 @@ func (db *DB) execInsert(ctx context.Context, s *InsertStmt, params []Value) (in
 	// shape "fill a table from a query, then cluster it" gets the batch
 	// ingest plan from plain SQL. Staging also makes the statement atomic:
 	// a mid-batch failure (bad value, duplicate key) leaves the table
-	// untouched instead of half-loaded.
+	// untouched instead of half-loaded. An INSERT...SELECT reads its own
+	// snapshot of the source, so selecting from the target table sees the
+	// pre-insert rows.
 	var batch [][]Value
 	if s.Query != nil {
 		rows, err := db.execSelect(ctx, s.Query, params)
@@ -523,7 +670,9 @@ func (db *DB) execInsert(ctx context.Context, s *InsertStmt, params []Value) (in
 
 // execUpdate rewrites the table: matching rows get their SET columns
 // re-evaluated. Key-column updates move rows, which the rewrite handles
-// naturally.
+// naturally. The scan and the replacement run under one writer critical
+// section, so concurrent Inserts cannot be lost between them; readers
+// keep streaming their own versions throughout.
 func (db *DB) execUpdate(ctx context.Context, s *UpdateStmt, params []Value) (int64, error) {
 	t, ok := db.Table(s.Table)
 	if !ok {
@@ -541,7 +690,11 @@ func (db *DB) execUpdate(ctx context.Context, s *UpdateStmt, params []Value) (in
 		}
 		setIdx[i] = ci
 	}
-	cur, err := t.Scan()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Scanning the locked current version needs no reclaimer guard: only
+	// the lock holder retires this table's pages.
+	cur, err := t.View().Scan()
 	if err != nil {
 		return 0, err
 	}
@@ -588,10 +741,11 @@ func (db *DB) execUpdate(ctx context.Context, s *UpdateStmt, params []Value) (in
 	if n == 0 {
 		return 0, nil
 	}
-	return n, t.ReplaceAll(rows)
+	return n, t.replaceAllLocked(rows)
 }
 
-// execDelete rewrites the table without the matching rows.
+// execDelete rewrites the table without the matching rows, under the same
+// single writer critical section as execUpdate.
 func (db *DB) execDelete(ctx context.Context, s *DeleteStmt, params []Value) (int64, error) {
 	t, ok := db.Table(s.Table)
 	if !ok {
@@ -601,7 +755,9 @@ func (db *DB) execDelete(ctx context.Context, s *DeleteStmt, params []Value) (in
 	for i, c := range t.Cols {
 		sch[i] = colMeta{alias: strings.ToLower(t.Name), name: c.Name}
 	}
-	cur, err := t.Scan()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur, err := t.View().Scan()
 	if err != nil {
 		return 0, err
 	}
@@ -638,5 +794,5 @@ func (db *DB) execDelete(ctx context.Context, s *DeleteStmt, params []Value) (in
 	if n == 0 {
 		return 0, nil
 	}
-	return n, t.ReplaceAll(keep)
+	return n, t.replaceAllLocked(keep)
 }

@@ -37,9 +37,13 @@ func (r *Rows) Len() int { return len(r.data) }
 // All returns every row.
 func (r *Rows) All() [][]Value { return r.data }
 
-// execSelect runs a SELECT and materialises the result.
+// execSelect runs a SELECT and materialises the result. The whole
+// statement — planning and execution — runs against one snapshot taken
+// here, released when the result is materialised.
 func (db *DB) execSelect(ctx context.Context, stmt *SelectStmt, params []Value) (*Rows, error) {
-	op, columns, err := db.planSelect(ctx, stmt, params)
+	snap := db.Snapshot()
+	defer snap.Close()
+	op, columns, err := db.planSelect(ctx, stmt, params, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +68,7 @@ func (db *DB) execSelect(ctx context.Context, stmt *SelectStmt, params []Value) 
 type RowIter struct {
 	cols   []string
 	op     physOp
+	snap   *Snapshot // the query's pinned snapshot; released by Close
 	row    []Value
 	err    error
 	closed bool
@@ -96,11 +101,15 @@ func (it *RowIter) Row() []Value { return it.row }
 // Err returns the first error encountered by Next.
 func (it *RowIter) Err() error { return it.err }
 
-// Close releases the plan's resources. Safe to call more than once.
+// Close releases the plan's resources and the query's snapshot. Safe to
+// call more than once.
 func (it *RowIter) Close() {
 	if !it.closed {
 		it.closed = true
 		it.op.close()
+		if it.snap != nil {
+			it.snap.Close()
+		}
 	}
 }
 
@@ -123,12 +132,13 @@ func conjuncts(e Expr) []Expr {
 // optimisation only: every predicate is still re-checked by the filter, so
 // strict bounds may be treated as inclusive. Unqualified column names are
 // only trusted when the query has a single FROM item.
-func rangeBounds(where Expr, alias string, t *Table, params []Value, singleTable bool) (lo, hi Value) {
+func rangeBounds(where Expr, alias string, tv TableView, params []Value, singleTable bool) (lo, hi Value) {
 	lo, hi = Null(), Null()
-	if where == nil || len(t.KeyCols) == 0 {
+	keyCols := tv.KeyCols()
+	if where == nil || len(keyCols) == 0 {
 		return lo, hi
 	}
-	leading := t.Cols[t.KeyCols[0]].Name
+	leading := tv.Table().Cols[keyCols[0]].Name
 	ev := &env{params: params}
 	matches := func(e Expr) bool {
 		c, ok := e.(*ColumnRef)

@@ -199,10 +199,12 @@ func scanLabel(name, alias string) string {
 	return name
 }
 
-// seqScanOp streams a whole table in clustered order.
+// seqScanOp streams a whole table version in clustered order. The view is
+// the one the query's snapshot pinned at planning; the snapshot's guard
+// outlives the operator, so the cursor needs none of its own.
 type seqScanOp struct {
 	st      opStats
-	t       *Table
+	tv      TableView
 	alias   string
 	cc      *cancelCheck
 	cur     *TableCursor
@@ -216,7 +218,7 @@ func (o *seqScanOp) next() ([]Value, error) {
 	}
 	if !o.started {
 		o.started = true
-		cur, err := o.t.Scan()
+		cur, err := o.tv.Scan()
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +236,7 @@ func (o *seqScanOp) close() {
 	}
 }
 func (o *seqScanOp) describe() string {
-	return "SeqScan " + scanLabel(o.t.Name, o.alias)
+	return "SeqScan " + scanLabel(o.tv.Table().Name, o.alias)
 }
 func (o *seqScanOp) children() []physOp { return nil }
 func (o *seqScanOp) stats() *opStats    { return &o.st }
@@ -243,7 +245,7 @@ func (o *seqScanOp) stats() *opStats    { return &o.st }
 // [lo, hi] (either bound may be NULL = unbounded).
 type rangeScanOp struct {
 	st      opStats
-	t       *Table
+	tv      TableView
 	alias   string
 	lo, hi  Value
 	cc      *cancelCheck
@@ -258,7 +260,7 @@ func (o *rangeScanOp) next() ([]Value, error) {
 	}
 	if !o.started {
 		o.started = true
-		cur, err := o.t.RangeScan(o.lo, o.hi)
+		cur, err := o.tv.RangeScan(o.lo, o.hi)
 		if err != nil {
 			return nil, err
 		}
@@ -276,8 +278,9 @@ func (o *rangeScanOp) close() {
 	}
 }
 func (o *rangeScanOp) describe() string {
-	return fmt.Sprintf("RangeScan %s (%s)", scanLabel(o.t.Name, o.alias),
-		boundsString(o.t.Cols[o.t.KeyCols[0]].Name, o.lo, o.hi))
+	t := o.tv.Table()
+	return fmt.Sprintf("RangeScan %s (%s)", scanLabel(t.Name, o.alias),
+		boundsString(t.Cols[o.tv.KeyCols()[0]].Name, o.lo, o.hi))
 }
 func (o *rangeScanOp) children() []physOp { return nil }
 func (o *rangeScanOp) stats() *opStats    { return &o.st }
@@ -304,7 +307,7 @@ func boundsString(col string, lo, hi Value) string {
 // so the operator is plug-compatible with SeqScan/RangeScan.
 type columnarScanOp struct {
 	st     opStats
-	t      *Table
+	tv     TableView
 	ct     *colstore.Table
 	alias  string
 	needed []bool // table columns to materialise; nil = all
@@ -317,10 +320,12 @@ type columnarScanOp struct {
 
 // newColumnarScan plans a columnar scan, pruning segments through the
 // directory when the extracted bounds cover the projection's group column
-// (the leading clustered-key column).
-func newColumnarScan(t *Table, ct *colstore.Table, alias string, lo, hi Value, needed []bool) *columnarScanOp {
+// (the leading clustered-key column). ct is the view's own projection, so
+// the segments cover exactly the rows the snapshot reads.
+func newColumnarScan(tv TableView, ct *colstore.Table, alias string, lo, hi Value, needed []bool) *columnarScanOp {
 	segs := ct.Segments()
-	if (!lo.IsNull() || !hi.IsNull()) && len(t.KeyCols) > 0 && ct.GroupCol() == t.KeyCols[0] {
+	keyCols := tv.KeyCols()
+	if (!lo.IsNull() || !hi.IsNull()) && len(keyCols) > 0 && ct.GroupCol() == keyCols[0] {
 		loF, hasLo := boundAsFloat(lo)
 		hiF, hasHi := boundAsFloat(hi)
 		kept := make([]colstore.SegmentMeta, 0, len(segs))
@@ -351,7 +356,7 @@ func newColumnarScan(t *Table, ct *colstore.Table, alias string, lo, hi Value, n
 		needed = nil
 	}
 	return &columnarScanOp{
-		st: opStats{est: est}, t: t, ct: ct, alias: alias, needed: needed, segs: segs,
+		st: opStats{est: est}, tv: tv, ct: ct, alias: alias, needed: needed, segs: segs,
 	}
 }
 
@@ -387,13 +392,14 @@ func (o *columnarScanOp) next() ([]Value, error) {
 		}
 		r := o.ri
 		o.ri++
+		cols := o.tv.Table().Cols
 		if o.row == nil {
-			o.row = make([]Value, len(o.t.Cols))
+			o.row = make([]Value, len(cols))
 			for ci := range o.row {
 				o.row[ci] = Null()
 			}
 		}
-		for ci, c := range o.t.Cols {
+		for ci, c := range cols {
 			if o.needed != nil && !o.needed[ci] {
 				continue // stays NULL; the statement never reads it
 			}
@@ -409,7 +415,7 @@ func (o *columnarScanOp) next() ([]Value, error) {
 }
 func (o *columnarScanOp) close() {}
 func (o *columnarScanOp) describe() string {
-	d := fmt.Sprintf("ColumnarScan %s [%d segments", scanLabel(o.t.Name, o.alias), len(o.segs))
+	d := fmt.Sprintf("ColumnarScan %s [%d segments", scanLabel(o.tv.Table().Name, o.alias), len(o.segs))
 	if o.needed != nil {
 		n := 0
 		for _, b := range o.needed {
@@ -417,7 +423,7 @@ func (o *columnarScanOp) describe() string {
 				n++
 			}
 		}
-		d += fmt.Sprintf(", %d/%d cols", n, len(o.t.Cols))
+		d += fmt.Sprintf(", %d/%d cols", n, len(o.tv.Table().Cols))
 	}
 	return d + "]"
 }
@@ -568,22 +574,26 @@ func (o *accessPathOp) children() []physOp { return nil }
 func (o *accessPathOp) stats() *opStats    { return &o.st }
 
 // sweepAccessPath builds the display leaf for a batch TVF's source table.
+// One view keeps the label's (projection, key, count) triple coherent;
+// the sweep itself re-pins its own view when it runs.
 func sweepAccessPath(src *Table) *accessPathOp {
 	if src == nil {
 		return nil
 	}
-	if ct := src.Columnar(); ct != nil {
+	tv := src.View()
+	if ct := tv.Columnar(); ct != nil {
 		return &accessPathOp{
 			st:    opStats{est: ct.NumRows()},
 			label: fmt.Sprintf("ColumnarScan %s [%d segments]", src.Name, len(ct.Segments())),
 		}
 	}
-	keys := make([]string, len(src.KeyCols))
-	for i, ci := range src.KeyCols {
+	keyCols := tv.KeyCols()
+	keys := make([]string, len(keyCols))
+	for i, ci := range keyCols {
 		keys[i] = src.Cols[ci].Name
 	}
 	return &accessPathOp{
-		st:    opStats{est: src.NumRows()},
+		st:    opStats{est: tv.NumRows()},
 		label: fmt.Sprintf("IndexScan %s [clustered (%s)]", src.Name, strings.Join(keys, ", ")),
 	}
 }
@@ -1321,17 +1331,17 @@ type PlannerKnobs struct {
 	NoColumnarScan bool
 }
 
-// SetPlannerKnobs installs knobs for subsequent statements.
+// SetPlannerKnobs installs knobs for subsequent statements. Knobs ride
+// the catalog, so a statement's snapshot fixes them for its whole plan.
 func (db *DB) SetPlannerKnobs(k PlannerKnobs) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.knobs = k
+	_ = db.updateCatalog(func(c *catalog) error {
+		c.knobs = k
+		return nil
+	})
 }
 
 func (db *DB) plannerKnobs() PlannerKnobs {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.knobs
+	return db.cat.Load().knobs
 }
 
 // planSelect compiles a SELECT into its physical operator tree and output
@@ -1339,12 +1349,12 @@ func (db *DB) plannerKnobs() PlannerKnobs {
 // context threads into every row-producing operator (and through
 // TVF.Batch into the parallel sweeps), so cancelling it stops the
 // statement at row-batch granularity.
-func (db *DB) planSelect(ctx context.Context, stmt *SelectStmt, params []Value) (physOp, []string, error) {
-	lp, err := db.buildLogical(stmt, params)
+func (db *DB) planSelect(ctx context.Context, stmt *SelectStmt, params []Value, snap *Snapshot) (physOp, []string, error) {
+	lp, err := db.buildLogical(stmt, params, snap)
 	if err != nil {
 		return nil, nil, err
 	}
-	knobs := db.plannerKnobs()
+	knobs := snap.cat.knobs
 	cc := newCancelCheck(ctx)
 	op, err := db.lowerSource(lp.source, params, knobs, cc)
 	if err != nil {
@@ -1431,18 +1441,22 @@ func (db *DB) lowerSource(n logNode, params []Value, knobs PlannerKnobs, cc *can
 		return &valuesOp{st: opStats{est: 1}, rows: [][]Value{{}}}, nil
 	case *logScan:
 		if !knobs.NoColumnarScan {
-			if ct := x.t.Columnar(); projectionCovers(x.t, ct) {
-				op := newColumnarScan(x.t, ct, x.alias, x.lo, x.hi, x.needed)
+			// The projection comes from the scan's own pinned view, so a
+			// ColumnarScan reads segments covering exactly the rows the
+			// snapshot's row cursors would return — a write that detached
+			// the projection published a different version.
+			if ct := x.tv.Columnar(); projectionCovers(x.tv.Table(), ct) {
+				op := newColumnarScan(x.tv, ct, x.alias, x.lo, x.hi, x.needed)
 				op.cc = cc
 				return op, nil
 			}
 		}
 		if x.lo.IsNull() && x.hi.IsNull() {
-			return &seqScanOp{st: opStats{est: x.t.NumRows()}, t: x.t, alias: x.alias, cc: cc}, nil
+			return &seqScanOp{st: opStats{est: x.tv.NumRows()}, tv: x.tv, alias: x.alias, cc: cc}, nil
 		}
 		// No histograms: the bounded row count is unknown, and printing the
 		// full table count against a range scan would misread in EXPLAIN.
-		return &rangeScanOp{st: opStats{est: -1}, t: x.t, alias: x.alias, lo: x.lo, hi: x.hi, cc: cc}, nil
+		return &rangeScanOp{st: opStats{est: -1}, tv: x.tv, alias: x.alias, lo: x.lo, hi: x.hi, cc: cc}, nil
 	case *logTVF:
 		// Non-lateral: constant arguments, evaluated once at first next.
 		return &tvfScanOp{st: opStats{est: -1}, db: db, tvf: x.tvf, name: x.name, alias: x.alias, args: x.args, params: params}, nil

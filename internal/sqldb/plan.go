@@ -30,9 +30,11 @@ func (n *logValues) schema() schema { return n.sch }
 
 // logScan is a bound base-table reference with any extracted clustered-key
 // bounds (inclusive; NULL = unbounded; optimisation only, the filter
-// re-checks every predicate).
+// re-checks every predicate). The scan binds a TableView — one immutable
+// version resolved through the query's snapshot — so lowering and
+// execution read the same rows no matter what writers publish meanwhile.
 type logScan struct {
-	t      *Table
+	tv     TableView
 	alias  string
 	lo, hi Value
 	// needed marks the table columns the statement references, when that
@@ -80,12 +82,12 @@ type logicalPlan struct {
 	aggregated bool
 }
 
-// buildLogical binds stmt against the catalog. It performs every static
-// check the executor used to do during iterator construction — unknown
-// tables and TVFs, star expansion, unknown or ambiguous columns — so a
-// plan that builds is safe to print or run.
-func (db *DB) buildLogical(stmt *SelectStmt, params []Value) (*logicalPlan, error) {
-	src, err := db.buildLogicalSource(stmt, params)
+// buildLogical binds stmt against snap's catalog. It performs every
+// static check the executor used to do during iterator construction —
+// unknown tables and TVFs, star expansion, unknown or ambiguous columns —
+// so a plan that builds is safe to print or run.
+func (db *DB) buildLogical(stmt *SelectStmt, params []Value, snap *Snapshot) (*logicalPlan, error) {
+	src, err := db.buildLogicalSource(stmt, params, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -125,14 +127,14 @@ func (db *DB) buildLogical(stmt *SelectStmt, params []Value) (*logicalPlan, erro
 
 // buildLogicalSource binds the FROM clause into a left-deep join tree,
 // mirroring the join order the executor has always used.
-func (db *DB) buildLogicalSource(stmt *SelectStmt, params []Value) (logNode, error) {
+func (db *DB) buildLogicalSource(stmt *SelectStmt, params []Value, snap *Snapshot) (logNode, error) {
 	if len(stmt.From) == 0 {
 		return &logValues{}, nil
 	}
 	single := len(stmt.From) == 1
 	var root logNode
 	for i, item := range stmt.From {
-		n, err := db.buildLogicalItem(item, stmt.Where, params, single, schemaOf(root))
+		n, err := db.buildLogicalItem(item, stmt.Where, params, single, schemaOf(root), snap)
 		if err != nil {
 			return nil, err
 		}
@@ -161,13 +163,13 @@ func schemaOf(n logNode) schema {
 
 // buildLogicalItem binds one FROM entry. leftSch is the accumulated schema
 // of the items before it, against which a lateral TVF's arguments resolve.
-func (db *DB) buildLogicalItem(item FromItem, where Expr, params []Value, single bool, leftSch schema) (logNode, error) {
+func (db *DB) buildLogicalItem(item FromItem, where Expr, params []Value, single bool, leftSch schema, snap *Snapshot) (logNode, error) {
 	alias := strings.ToLower(item.Alias)
 	if alias == "" {
 		alias = strings.ToLower(item.Table)
 	}
 	if item.IsTVF {
-		tvf, ok := db.tvf(item.Table)
+		tvf, ok := snap.tvf(item.Table)
 		if !ok {
 			return nil, fmt.Errorf("sqldb: unknown table-valued function %s", item.Table)
 		}
@@ -192,16 +194,17 @@ func (db *DB) buildLogicalItem(item FromItem, where Expr, params []Value, single
 		}
 		return &logTVF{tvf: tvf, name: item.Table, alias: alias, args: item.Args, lateral: lateral, sch: sch}, nil
 	}
-	t, ok := db.Table(item.Table)
+	tv, ok := snap.View(item.Table)
 	if !ok {
 		return nil, fmt.Errorf("sqldb: unknown table %s", item.Table)
 	}
+	t := tv.Table()
 	sch := make(schema, len(t.Cols))
 	for i, c := range t.Cols {
 		sch[i] = colMeta{alias: alias, name: c.Name}
 	}
-	lo, hi := rangeBounds(where, alias, t, params, single)
-	return &logScan{t: t, alias: alias, lo: lo, hi: hi, sch: sch}, nil
+	lo, hi := rangeBounds(where, alias, tv, params, single)
+	return &logScan{tv: tv, alias: alias, lo: lo, hi: hi, sch: sch}, nil
 }
 
 // neededColumns computes which columns of a single-table statement's scan

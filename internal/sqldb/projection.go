@@ -24,13 +24,21 @@ import (
 //     sorted,
 //   - no stored value is NULL.
 //
-// Like SetColumnar, the result is a snapshot: any write detaches it.
+// The build runs under the table's writer lock: the version it scans is
+// the version the projection attaches to, so a view that carries a
+// non-nil Columnar() always covers exactly that view's rows. Any later
+// write publishes a version without the projection.
 func (t *Table) BuildColumnarProjection() (*colstore.Table, error) {
-	if len(t.KeyCols) < 2 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.version.Load()
+	tv := TableView{t: t, v: v}
+	keyCols := tv.KeyCols()
+	if len(keyCols) < 2 {
 		return nil, fmt.Errorf("sqldb: COLUMNAR PROJECTION ON %s: clustered key needs at least (int, float) leading columns, have %d key column(s)",
-			t.Name, len(t.KeyCols))
+			t.Name, len(keyCols))
 	}
-	groupCol, sortCol := t.KeyCols[0], t.KeyCols[1]
+	groupCol, sortCol := keyCols[0], keyCols[1]
 	if t.Cols[groupCol].Type != TInt {
 		return nil, fmt.Errorf("sqldb: COLUMNAR PROJECTION ON %s: leading key column %s must be an integer (the segment group)",
 			t.Name, t.Cols[groupCol].Name)
@@ -60,8 +68,9 @@ func (t *Table) BuildColumnarProjection() (*colstore.Table, error) {
 	}
 	// One clustered-order scan feeds the builder: the key prefix (group,
 	// sort) ascends by construction, which is exactly the input order the
-	// builder demands.
-	cur, err := t.Scan()
+	// builder demands. The scan needs no reclaimer guard — we hold the
+	// writer lock, and only the lock holder retires pages.
+	cur, err := tv.Scan()
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +105,12 @@ func (t *Table) BuildColumnarProjection() (*colstore.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.SetColumnar(ct)
+	// Attach to the exact version we scanned. SetColumnar would re-lock
+	// t.mu, so publish inline: same tree, projection added.
+	nv := *v
+	nv.seq++
+	nv.columnar = ct
+	t.version.Store(&nv)
 	return ct, nil
 }
 

@@ -1,11 +1,14 @@
 package sqldb
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/colstore"
 	"repro/internal/storage"
@@ -22,30 +25,97 @@ type Column struct {
 // key (the declared PRIMARY KEY, a CREATE CLUSTERED INDEX key, or an
 // implicit insertion-ordered rowid). Non-unique clustered keys get a rowid
 // suffix so equal keys coexist.
+//
+// A Table is a handle: the name and column schema are immutable, and all
+// mutable state lives in one immutable tableVersion published through an
+// atomic pointer. Readers load the version once and see a frozen tree,
+// row count, and columnar projection; writers serialize on the core's
+// mutex, build a replacement version off to the side, and publish it with
+// a single atomic store. RENAME makes a new handle sharing the same core,
+// so in-flight queries keep a coherent (name, rows) pair.
 type Table struct {
-	Name    string
-	Cols    []Column
-	KeyCols []int // indexes into Cols forming the clustered key; empty = rowid heap
-	Unique  bool  // true only for PRIMARY KEY storage (no rowid suffix)
-
-	mu           sync.Mutex
-	tree         *storage.BTree
-	pool         *storage.Pool
-	rows         int64
-	nextRowID    int64
-	nextIdentity int64
-	columnar     *colstore.Table // optional column-major projection; nil when stale
+	Name string
+	Cols []Column
+	*tableCore
 }
 
-func newTable(pool *storage.Pool, name string, cols []Column, keyCols []int, unique bool) (*Table, error) {
+// tableCore is the shared mutable heart of a table: all handles produced
+// by renames point at the same core.
+type tableCore struct {
+	pool *storage.Pool
+	rec  *storage.Reclaimer
+
+	mu      sync.Mutex // writer lock: one version transition at a time
+	version atomic.Pointer[tableVersion]
+}
+
+// deltaEntry is one encoded row in a version's write overlay.
+type deltaEntry struct {
+	key []byte
+	val []byte
+}
+
+// tableVersion is one immutable snapshot of a table's contents. Every
+// field is frozen at publish; writers copy the struct, never mutate it.
+//
+// The tree is always bulk-built (or the empty single-leaf tree), so
+// treePages is a complete page inventory: when the version dies, retiring
+// that slice deallocates the whole tree without a walk. Trickled Inserts
+// land in delta — a sorted overlay whose keys are provably disjoint from
+// the tree's (unique tables reject duplicates; non-unique keys carry a
+// monotone rowid suffix) — and merge into a fresh tree once the overlay
+// reaches deltaFlushRows or any bulk operation rewrites the table.
+type tableVersion struct {
+	seq          int64
+	keyCols      []int // indexes into Cols forming the clustered key; empty = rowid heap
+	unique       bool  // true only for PRIMARY KEY storage (no rowid suffix)
+	tree         *storage.BTree
+	treePages    []storage.PageID
+	treeRows     int64
+	delta        []deltaEntry
+	nextRowID    int64
+	nextIdentity int64
+	columnar     *colstore.Table // column-major projection of this exact version; nil when absent
+}
+
+// rows is the version's total row count.
+func (v *tableVersion) rows() int64 { return v.treeRows + int64(len(v.delta)) }
+
+// deltaFlushRows bounds the write overlay: the insert that reaches it
+// merges tree+delta into a fresh bulk-built tree. Small enough that scan
+// merge overhead stays negligible, large enough that a trickle load
+// rewrites the table 1/512th as often as per-row tree inserts would.
+const deltaFlushRows = 512
+
+func newTable(pool *storage.Pool, rec *storage.Reclaimer, name string, cols []Column, keyCols []int, unique bool) (*Table, error) {
 	tree, err := storage.NewBTree(pool)
 	if err != nil {
 		return nil, err
 	}
-	return &Table{
-		Name: name, Cols: cols, KeyCols: keyCols, Unique: unique,
-		tree: tree, pool: pool, nextRowID: 1, nextIdentity: 1,
-	}, nil
+	t := &Table{Name: name, Cols: cols, tableCore: &tableCore{pool: pool, rec: rec}}
+	t.version.Store(&tableVersion{
+		seq: 1, keyCols: keyCols, unique: unique,
+		tree: tree, treePages: []storage.PageID{tree.Root()},
+		nextRowID: 1, nextIdentity: 1,
+	})
+	return t, nil
+}
+
+// renamed returns a new handle over the same core. The old handle stays
+// valid: queries planned against it keep reading (and naming) the table
+// they bound.
+func (t *Table) renamed(name string) *Table {
+	return &Table{Name: name, Cols: t.Cols, tableCore: t.tableCore}
+}
+
+// publishLocked installs nv as the current version and retires the old
+// tree's pages when the transition replaced the tree (delta-only
+// transitions keep it). Caller holds t.mu.
+func (t *Table) publishLocked(old, nv *tableVersion) {
+	t.version.Store(nv)
+	if nv.tree != old.tree {
+		t.rec.Retire(old.treePages)
+	}
 }
 
 // ColIndex returns the index of the named column (case-insensitive), or -1.
@@ -58,112 +128,148 @@ func (t *Table) ColIndex(name string) int {
 	return -1
 }
 
-// NumRows returns the current row count.
-func (t *Table) NumRows() int64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.rows
+// View returns the table's current version as a read view. The view is
+// O(1) to take, never blocks writers, and stays internally consistent
+// (tree, row count, projection, key layout) no matter what is published
+// afterwards. Pages of a superseded version are only reclaimed once every
+// guard taken before the supersession is released; cursors opened through
+// Table methods carry their own guard, while Snapshot-scoped views ride
+// the snapshot's.
+func (t *Table) View() TableView {
+	return TableView{t: t, v: t.version.Load()}
 }
+
+// AcquireView returns the current view pinned by a reclaimer guard, for
+// callers that hold a view across multiple cursor lifetimes (the zone
+// sweep sources). Call release exactly once when done.
+func (t *Table) AcquireView() (TableView, func()) {
+	g := t.rec.Enter()
+	tv := t.View()
+	return tv, func() { g.Release() }
+}
+
+// NumRows returns the current row count.
+func (t *Table) NumRows() int64 { return t.version.Load().rows() }
 
 // SetColumnar attaches a column-major projection of the table's current
 // rows (see internal/colstore): scan-heavy callers can then iterate packed
 // column arrays instead of decoding row payloads — the batched zone sweep
 // reads the projection, while point probes and SQL keep using the row
-// store. The projection is a snapshot, not a maintained index: any write
-// (Insert, BulkInsert, Truncate, ReplaceAll, Recluster) detaches it, so a
-// non-nil Columnar() is always consistent with the rows.
+// store. The projection rides the version: any write (Insert, BulkInsert,
+// Truncate, ReplaceAll, Recluster) publishes a version without it, so a
+// view's non-nil Columnar() is always consistent with that view's rows.
 func (t *Table) SetColumnar(ct *colstore.Table) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.columnar = ct
+	v := t.version.Load()
+	nv := *v
+	nv.seq++
+	nv.columnar = ct
+	t.version.Store(&nv)
 }
 
 // Columnar returns the attached column-major projection, or nil if none
 // was attached or a write has detached it.
-func (t *Table) Columnar() *colstore.Table {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.columnar
+func (t *Table) Columnar() *colstore.Table { return t.version.Load().columnar }
+
+// TableView is one immutable version of a table, the object reads plan
+// and execute against. The zero value is invalid; obtain one from
+// Table.View, Table.AcquireView, or Snapshot.View.
+type TableView struct {
+	t *Table
+	v *tableVersion
 }
 
-// encodeKey builds the clustered key for a row. Each key column is encoded
-// with a null marker so NULLs order first; non-unique keys append the rowid.
-func (t *Table) encodeKey(row []Value, rowid int64) ([]byte, error) {
-	return t.appendKey(make([]byte, 0, 32), row, rowid)
-}
+// Table returns the handle the view was taken from.
+func (tv TableView) Table() *Table { return tv.t }
 
-// appendKey is encodeKey into a caller-owned buffer; the bulk-load path
-// encodes every row through one reused scratch slice.
-func (t *Table) appendKey(key []byte, row []Value, rowid int64) ([]byte, error) {
-	for _, ci := range t.KeyCols {
-		v := row[ci]
-		if v.IsNull() {
+// NumRows returns the view's row count.
+func (tv TableView) NumRows() int64 { return tv.v.rows() }
+
+// Columnar returns the view's columnar projection, or nil. It covers
+// exactly the view's rows.
+func (tv TableView) Columnar() *colstore.Table { return tv.v.columnar }
+
+// KeyCols returns the view's clustered-key column indexes. Read-only.
+func (tv TableView) KeyCols() []int { return tv.v.keyCols }
+
+// Unique reports whether the view's clustered key is a PRIMARY KEY.
+func (tv TableView) Unique() bool { return tv.v.unique }
+
+// Seq returns the version sequence number; each publish increments it.
+func (tv TableView) Seq() int64 { return tv.v.seq }
+
+// appendKey builds the clustered key for a row into a caller-owned
+// buffer. Each key column is encoded with a null marker so NULLs order
+// first; non-unique keys append the rowid.
+func (tv TableView) appendKey(key []byte, row []Value, rowid int64) ([]byte, error) {
+	t, v := tv.t, tv.v
+	for _, ci := range v.keyCols {
+		val := row[ci]
+		if val.IsNull() {
 			key = append(key, 0)
 			continue
 		}
 		key = append(key, 1)
 		switch t.Cols[ci].Type {
 		case TInt:
-			iv, err := v.AsInt()
+			iv, err := val.AsInt()
 			if err != nil {
 				return nil, err
 			}
 			key = storage.AppendInt64(key, iv)
 		case TFloat:
-			fv, err := v.AsFloat()
+			fv, err := val.AsFloat()
 			if err != nil {
 				return nil, err
 			}
 			key = storage.AppendFloat64(key, fv)
 		case TString:
-			key = storage.AppendString(key, v.S)
+			key = storage.AppendString(key, val.S)
 		case TBool:
-			key = storage.AppendBool(key, v.B)
+			key = storage.AppendBool(key, val.B)
 		default:
 			return nil, fmt.Errorf("sqldb: cannot key column of type %s", t.Cols[ci].Type)
 		}
 	}
-	if !t.Unique || len(t.KeyCols) == 0 {
+	if !v.unique || len(v.keyCols) == 0 {
 		key = storage.AppendInt64(key, rowid)
 	}
 	return key, nil
 }
 
 // keyPrefixFor encodes a bound on the leading key column for range scans.
-func (t *Table) keyPrefixFor(v Value) ([]byte, error) {
-	return t.keyPrefixForVals([]Value{v})
+func (tv TableView) keyPrefixFor(v Value) ([]byte, error) {
+	return tv.appendKeyPrefix(nil, []Value{v})
 }
 
-// keyPrefixForVals encodes bounds on the leading len(vals) key columns.
-func (t *Table) keyPrefixForVals(vals []Value) ([]byte, error) {
-	return t.appendKeyPrefix(nil, vals)
-}
-
-// appendKeyPrefix is keyPrefixForVals into a caller-owned buffer, so scan
-// loops that re-seek per zone can encode bounds without allocating.
-func (t *Table) appendKeyPrefix(key []byte, vals []Value) ([]byte, error) {
-	if len(t.KeyCols) < len(vals) {
+// appendKeyPrefix encodes bounds on the leading len(vals) key columns into
+// a caller-owned buffer, so scan loops that re-seek per zone can encode
+// bounds without allocating.
+func (tv TableView) appendKeyPrefix(key []byte, vals []Value) ([]byte, error) {
+	t, v := tv.t, tv.v
+	if len(v.keyCols) < len(vals) {
 		return nil, fmt.Errorf("sqldb: table %s clustered key has %d columns, prefix needs %d",
-			t.Name, len(t.KeyCols), len(vals))
+			t.Name, len(v.keyCols), len(vals))
 	}
-	for i, v := range vals {
-		ci := t.KeyCols[i]
+	for i, val := range vals {
+		ci := v.keyCols[i]
 		key = append(key, 1)
 		switch t.Cols[ci].Type {
 		case TInt:
-			iv, err := v.AsInt()
+			iv, err := val.AsInt()
 			if err != nil {
 				return nil, err
 			}
 			key = storage.AppendInt64(key, iv)
 		case TFloat:
-			fv, err := v.AsFloat()
+			fv, err := val.AsFloat()
 			if err != nil {
 				return nil, err
 			}
 			key = storage.AppendFloat64(key, fv)
 		case TString:
-			key = storage.AppendString(key, v.S)
+			key = storage.AppendString(key, val.S)
 		default:
 			return nil, fmt.Errorf("sqldb: unsupported range-scan key type %s", t.Cols[ci].Type)
 		}
@@ -294,20 +400,59 @@ func decodeCols(cols []Column, data []byte, row []Value, from, to, pos int) (int
 	return pos, nil
 }
 
+// deltaSeek returns the index of the first overlay entry with key >= start.
+func deltaSeek(d []deltaEntry, start []byte) int {
+	if len(start) == 0 {
+		return 0
+	}
+	return sort.Search(len(d), func(i int) bool { return bytes.Compare(d[i].key, start) >= 0 })
+}
+
+// deltaHas reports whether the overlay holds key exactly.
+func deltaHas(d []deltaEntry, key []byte) bool {
+	i := deltaSeek(d, key)
+	return i < len(d) && bytes.Equal(d[i].key, key)
+}
+
+// insertDelta returns the overlay with (key, val) inserted in order. The
+// tail-append fast path may extend the previous version's backing array
+// in place: readers of published versions only index [:their length], the
+// new entry lands at [length], and the version publish provides the
+// happens-before edge — disjoint memory, race-free. Mid-slice inserts
+// copy to a fresh array.
+func insertDelta(d []deltaEntry, key, val []byte) []deltaEntry {
+	e := deltaEntry{key: key, val: val}
+	if n := len(d); n == 0 || bytes.Compare(d[n-1].key, key) < 0 {
+		return append(d, e)
+	}
+	idx := deltaSeek(d, key)
+	nd := make([]deltaEntry, len(d)+1)
+	copy(nd, d[:idx])
+	nd[idx] = e
+	copy(nd[idx+1:], d[idx:])
+	return nd
+}
+
 // Insert adds a row (values in schema order; Identity columns auto-fill
-// when NULL). It enforces PRIMARY KEY uniqueness.
+// when NULL). It enforces PRIMARY KEY uniqueness. The row lands in the
+// new version's sorted write overlay; once the overlay reaches
+// deltaFlushRows the insert also merges overlay and tree into a fresh
+// bulk-built tree, so trickle loads stay amortised-linear while published
+// trees remain immutable.
 func (t *Table) Insert(row []Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	v := t.version.Load()
 	if len(row) != len(t.Cols) {
 		return fmt.Errorf("sqldb: INSERT into %s has %d values for %d columns", t.Name, len(row), len(t.Cols))
 	}
 	vals := make([]Value, len(row))
 	copy(vals, row)
+	nextIdentity := v.nextIdentity
 	for i, c := range t.Cols {
 		if c.Identity && vals[i].IsNull() {
-			vals[i] = Int(t.nextIdentity)
-			t.nextIdentity++
+			vals[i] = Int(nextIdentity)
+			nextIdentity++
 		}
 		if !vals[i].NeedsCoerce(c.Type) {
 			continue
@@ -318,16 +463,18 @@ func (t *Table) Insert(row []Value) error {
 			return fmt.Errorf("sqldb: table %s column %s: %w", t.Name, c.Name, err)
 		}
 	}
-	rowid := t.nextRowID
-	t.nextRowID++
-	key, err := t.encodeKey(vals, rowid)
+	rowid := v.nextRowID
+	key, err := TableView{t: t, v: v}.appendKey(make([]byte, 0, 32), vals, rowid)
 	if err != nil {
 		return err
 	}
-	if t.Unique {
-		if _, exists, err := t.tree.Get(key); err != nil {
+	if v.unique {
+		if _, exists, err := v.tree.Get(key); err != nil {
 			return err
 		} else if exists {
+			return fmt.Errorf("sqldb: duplicate primary key in table %s", t.Name)
+		}
+		if deltaHas(v.delta, key) {
 			return fmt.Errorf("sqldb: duplicate primary key in table %s", t.Name)
 		}
 	}
@@ -335,25 +482,43 @@ func (t *Table) Insert(row []Value) error {
 	if err != nil {
 		return err
 	}
-	if err := t.tree.Insert(key, data); err != nil {
-		return err
+	nv := *v
+	nv.seq++
+	nv.nextRowID = v.nextRowID + 1
+	nv.nextIdentity = nextIdentity
+	nv.delta = insertDelta(v.delta, key, data)
+	nv.columnar = nil // the projection no longer covers every row
+	if len(nv.delta) >= deltaFlushRows {
+		if fv, err := t.flushedVersion(&nv); err == nil {
+			t.publishLocked(v, fv)
+			return nil
+		}
+		// Flush failed (an injected allocation fault, say): the insert
+		// itself succeeded, so publish the overlay version and let a later
+		// write retry the merge.
 	}
-	t.rows++
-	t.columnar = nil // the projection no longer covers every row
+	t.version.Store(&nv)
 	return nil
 }
 
-// TableCursor streams rows in clustered-key order. Columns decode lazily:
-// Next materialises only the leading eager columns (all of them unless
-// SetEagerColumns narrowed the set) and Row completes the rest on demand,
-// so scan loops that reject most rows on a key-side prefix never pay for
-// the tail of the row.
+// TableCursor streams one view's rows in clustered-key order, merging the
+// version's bulk-built tree with its sorted write overlay (their keys are
+// disjoint, so the merge is a pick-smaller walk with no shadowing logic).
+// Columns decode lazily: Next materialises only the leading eager columns
+// (all of them unless SetEagerColumns narrowed the set) and Row completes
+// the rest on demand, so scan loops that reject most rows on a key-side
+// prefix never pay for the tail of the row.
 type TableCursor struct {
-	table   *Table
+	t       *Table
+	v       *tableVersion
 	cur     *storage.Cursor
-	endKey  []byte // scan stops when key prefix exceeds endKey (inclusive bound)
+	delta   []deltaEntry // the view's overlay; di indexes the next candidate
+	di      int
+	onDelta bool           // current row came from the overlay
+	guard   *storage.Guard // held for cursors opened via Table methods; released by Close
+	endKey  []byte         // scan stops when key prefix exceeds endKey (inclusive bound)
 	row     []Value
-	raw     []byte // current row payload (aliases the storage cursor's buffer)
+	raw     []byte // current row payload (aliases the storage cursor's buffer or an overlay entry)
 	pos     int    // decode offset into raw
 	decoded int    // leading columns of raw already decoded into row
 	eager   int    // columns Next decodes per row; 0 = all
@@ -363,18 +528,27 @@ type TableCursor struct {
 	lc      *storage.LeafCache
 }
 
-// NewSweepCursor returns a reusable range cursor whose page fetches go
-// through a private leaf cache: repeated seeks inside the cached window
-// (a zone sweep's per-window re-seeks) skip the buffer pool entirely.
-// Cache mode is only sound while the table is not being written; the
-// sweep drivers own that invariant. Call ResetLeafCache at each work
-// boundary (the zone sweeps reset per zone, which keeps the pool's I/O
-// accounting independent of how zones are scheduled across workers) and
-// Close when done — Close drops the cache's pins too.
-func (t *Table) NewSweepCursor() *TableCursor {
-	c := &TableCursor{table: t, cur: &storage.Cursor{}}
-	c.lc = storage.NewLeafCache(t.pool, storage.DefaultLeafCacheFrames)
+// NewSweepCursor returns a reusable range cursor over the view whose page
+// fetches go through a private leaf cache: repeated seeks inside the
+// cached window (a zone sweep's per-window re-seeks) skip the buffer pool
+// entirely. The view's tree is immutable, so cache mode is always sound.
+// Call ResetLeafCache at each work boundary (the zone sweeps reset per
+// zone, which keeps the pool's I/O accounting independent of how zones
+// are scheduled across workers) and Close when done — Close drops the
+// cache's pins too.
+func (tv TableView) NewSweepCursor() *TableCursor {
+	c := &TableCursor{t: tv.t, v: tv.v, cur: &storage.Cursor{}}
+	c.lc = storage.NewLeafCache(tv.t.pool, storage.DefaultLeafCacheFrames)
 	c.cur.SetCache(c.lc)
+	return c
+}
+
+// NewSweepCursor returns a sweep cursor over the table's current version
+// (see TableView.NewSweepCursor), pinned by its own guard.
+func (t *Table) NewSweepCursor() *TableCursor {
+	g := t.rec.Enter()
+	c := t.View().NewSweepCursor()
+	c.guard = g
 	return c
 }
 
@@ -387,21 +561,33 @@ func (c *TableCursor) ResetLeafCache() {
 	}
 }
 
-// Scan returns a cursor over the whole table.
-func (t *Table) Scan() (*TableCursor, error) {
-	c, err := t.tree.First()
+// Scan returns a cursor over the whole view.
+func (tv TableView) Scan() (*TableCursor, error) {
+	c, err := tv.v.tree.First()
 	if err != nil {
 		return nil, err
 	}
-	return &TableCursor{table: t, cur: c}, nil
+	return &TableCursor{t: tv.t, v: tv.v, cur: c, delta: tv.v.delta}, nil
+}
+
+// Scan returns a cursor over the table's current version.
+func (t *Table) Scan() (*TableCursor, error) {
+	g := t.rec.Enter()
+	c, err := t.View().Scan()
+	if err != nil {
+		g.Release()
+		return nil, err
+	}
+	c.guard = g
+	return c, nil
 }
 
 // RangeScan returns a cursor over rows whose leading clustered-key column is
 // within [lo, hi] (either bound may be omitted by passing a NULL Value).
-func (t *Table) RangeScan(lo, hi Value) (*TableCursor, error) {
+func (tv TableView) RangeScan(lo, hi Value) (*TableCursor, error) {
 	var start []byte
 	if !lo.IsNull() {
-		p, err := t.keyPrefixFor(lo)
+		p, err := tv.keyPrefixFor(lo)
 		if err != nil {
 			return nil, err
 		}
@@ -409,57 +595,88 @@ func (t *Table) RangeScan(lo, hi Value) (*TableCursor, error) {
 	}
 	var end []byte
 	if !hi.IsNull() {
-		p, err := t.keyPrefixFor(hi)
+		p, err := tv.keyPrefixFor(hi)
 		if err != nil {
 			return nil, err
 		}
 		end = p
 	}
-	c, err := t.tree.Seek(start)
+	c, err := tv.v.tree.Seek(start)
 	if err != nil {
 		return nil, err
 	}
-	return &TableCursor{table: t, cur: c, endKey: end}, nil
+	return &TableCursor{
+		t: tv.t, v: tv.v, cur: c, endKey: end,
+		delta: tv.v.delta, di: deltaSeek(tv.v.delta, start),
+	}, nil
+}
+
+// RangeScan returns a range cursor over the table's current version.
+func (t *Table) RangeScan(lo, hi Value) (*TableCursor, error) {
+	g := t.rec.Enter()
+	c, err := t.View().RangeScan(lo, hi)
+	if err != nil {
+		g.Release()
+		return nil, err
+	}
+	c.guard = g
+	return c, nil
 }
 
 // RangeScanPrefix returns a cursor over rows whose leading clustered-key
 // columns fall within [lo, hi] componentwise: the zone join's
 // (zoneID = z AND ra BETWEEN a-x AND a+x) access path.
+func (tv TableView) RangeScanPrefix(lo, hi []Value) (*TableCursor, error) {
+	start, err := tv.appendKeyPrefix(nil, lo)
+	if err != nil {
+		return nil, err
+	}
+	end, err := tv.appendKeyPrefix(nil, hi)
+	if err != nil {
+		return nil, err
+	}
+	c, err := tv.v.tree.Seek(start)
+	if err != nil {
+		return nil, err
+	}
+	return &TableCursor{
+		t: tv.t, v: tv.v, cur: c, endKey: end,
+		delta: tv.v.delta, di: deltaSeek(tv.v.delta, start),
+	}, nil
+}
+
+// RangeScanPrefix returns a prefix-range cursor over the table's current
+// version.
 func (t *Table) RangeScanPrefix(lo, hi []Value) (*TableCursor, error) {
-	start, err := t.keyPrefixForVals(lo)
+	g := t.rec.Enter()
+	c, err := t.View().RangeScanPrefix(lo, hi)
 	if err != nil {
+		g.Release()
 		return nil, err
 	}
-	end, err := t.keyPrefixForVals(hi)
-	if err != nil {
-		return nil, err
-	}
-	c, err := t.tree.Seek(start)
-	if err != nil {
-		return nil, err
-	}
-	return &TableCursor{table: t, cur: c, endKey: end}, nil
+	c.guard = g
+	return c, nil
 }
 
 // RangeScanPrefixInto is RangeScanPrefix reusing cursor c — its storage
 // cursor, row buffer, and key scratch — when non-nil (pass nil to allocate
 // one). A single cursor can serve an entire batched zone join: each call
 // costs one tree descent and no allocation.
-func (t *Table) RangeScanPrefixInto(lo, hi []Value, c *TableCursor) (*TableCursor, error) {
-	if c != nil && c.table != t {
-		c.Close() // release the other table's pin before abandoning it
+func (tv TableView) RangeScanPrefixInto(lo, hi []Value, c *TableCursor) (*TableCursor, error) {
+	if c != nil && (c.t != tv.t || c.v != tv.v) {
+		c.Close() // release the other view's pins before abandoning it
 		c = nil
 	}
 	if c == nil {
-		c = &TableCursor{table: t, cur: &storage.Cursor{}}
+		c = &TableCursor{t: tv.t, v: tv.v, cur: &storage.Cursor{}}
 	}
-	buf, err := t.appendKeyPrefix(c.keyBuf[:0], lo)
+	buf, err := tv.appendKeyPrefix(c.keyBuf[:0], lo)
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
 	mark := len(buf)
-	buf, err = t.appendKeyPrefix(buf, hi)
+	buf, err = tv.appendKeyPrefix(buf, hi)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -467,13 +684,37 @@ func (t *Table) RangeScanPrefixInto(lo, hi []Value, c *TableCursor) (*TableCurso
 	c.keyBuf = buf
 	c.endKey = buf[mark:]
 	c.started = false
+	c.onDelta = false
 	c.err = nil
 	c.raw = nil
 	c.decoded = 0
-	if err := t.tree.SeekInto(buf[:mark], c.cur); err != nil {
+	c.delta = tv.v.delta
+	c.di = deltaSeek(tv.v.delta, buf[:mark])
+	if err := tv.v.tree.SeekInto(buf[:mark], c.cur); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// RangeScanPrefixInto is TableView.RangeScanPrefixInto against the
+// table's current version; the cursor re-pins when the version moved
+// between calls.
+func (t *Table) RangeScanPrefixInto(lo, hi []Value, c *TableCursor) (*TableCursor, error) {
+	if c != nil && c.t == t && c.v == t.version.Load() {
+		// Same version as the cursor already pins: its guard still covers.
+		return TableView{t: t, v: c.v}.RangeScanPrefixInto(lo, hi, c)
+	}
+	if c != nil {
+		c.Close()
+	}
+	g := t.rec.Enter()
+	nc, err := t.View().RangeScanPrefixInto(lo, hi, nil)
+	if err != nil {
+		g.Release()
+		return nil, err
+	}
+	nc.guard = g
+	return nc, nil
 }
 
 // Next advances and reports whether a row is available via Row. The
@@ -485,11 +726,15 @@ func (c *TableCursor) Next() bool {
 		return false
 	}
 	if c.started {
-		if !c.cur.Valid() {
-			return false
-		}
-		if err := c.cur.Next(); err != nil {
-			c.err = err
+		if c.onDelta {
+			c.di++
+			c.onDelta = false
+		} else if c.cur.Valid() {
+			if err := c.cur.Next(); err != nil {
+				c.err = err
+				return false
+			}
+		} else if c.di >= len(c.delta) {
 			return false
 		}
 	}
@@ -499,10 +744,19 @@ func (c *TableCursor) Next() bool {
 	// decode the out-of-range record's bytes at the old row's offsets.
 	c.raw = nil
 	c.decoded = 0
-	if !c.cur.Valid() {
+	treeOK := c.cur.Valid()
+	deltaOK := c.di < len(c.delta)
+	if !treeOK && !deltaOK {
 		return false
 	}
-	key := c.cur.Key()
+	// Pick the smaller key; tree and overlay keys are disjoint.
+	useDelta := deltaOK && (!treeOK || bytes.Compare(c.delta[c.di].key, c.cur.Key()) < 0)
+	var key []byte
+	if useDelta {
+		key = c.delta[c.di].key
+	} else {
+		key = c.cur.Key()
+	}
 	if c.endKey != nil {
 		// Stop once the key's prefix exceeds the inclusive end bound.
 		prefix := key
@@ -513,11 +767,16 @@ func (c *TableCursor) Next() bool {
 			return false
 		}
 	}
+	c.onDelta = useDelta
 	if c.row == nil {
-		c.row = make([]Value, len(c.table.Cols))
+		c.row = make([]Value, len(c.t.Cols))
 	}
-	c.raw = c.cur.Value()
-	nb := (len(c.table.Cols) + 7) / 8
+	if useDelta {
+		c.raw = c.delta[c.di].val
+	} else {
+		c.raw = c.cur.Value()
+	}
+	nb := (len(c.t.Cols) + 7) / 8
 	if len(c.raw) < nb {
 		c.err = fmt.Errorf("sqldb: row data shorter than null bitmap")
 		return false
@@ -525,8 +784,8 @@ func (c *TableCursor) Next() bool {
 	c.pos = nb
 	c.decoded = 0
 	eager := c.eager
-	if eager <= 0 || eager > len(c.table.Cols) {
-		eager = len(c.table.Cols)
+	if eager <= 0 || eager > len(c.t.Cols) {
+		eager = len(c.t.Cols)
 	}
 	return c.decodeTo(eager)
 }
@@ -540,11 +799,11 @@ func (c *TableCursor) decodeTo(n int) bool {
 	if n <= c.decoded {
 		return true
 	}
-	pos, err := decodeCols(c.table.Cols, c.raw, c.row, c.decoded, n, c.pos)
+	pos, err := decodeCols(c.t.Cols, c.raw, c.row, c.decoded, n, c.pos)
 	if err != nil {
 		// Null the undecoded tail so a caller that ignores the error does
 		// not see the previous row's values in those columns.
-		for i := c.decoded; i < len(c.table.Cols); i++ {
+		for i := c.decoded; i < len(c.t.Cols); i++ {
 			c.row[i] = Null()
 		}
 		c.err = err
@@ -557,7 +816,7 @@ func (c *TableCursor) decodeTo(n int) bool {
 // Row returns the current row, fully decoded. The slice is reused by the
 // next call to Next; callers that retain rows must copy them.
 func (c *TableCursor) Row() []Value {
-	c.decodeTo(len(c.table.Cols))
+	c.decodeTo(len(c.t.Cols))
 	return c.row
 }
 
@@ -576,28 +835,42 @@ func (c *TableCursor) SetEagerColumns(n int) { c.eager = n }
 // Err returns the first error encountered.
 func (c *TableCursor) Err() error { return c.err }
 
-// Close releases the cursor, including any leaf-cache pins.
+// Close releases the cursor: storage pins, any leaf cache, and the
+// reclaimer guard pinning its version. Idempotent.
 func (c *TableCursor) Close() {
 	c.cur.Close()
 	if c.lc != nil {
 		c.lc.Reset()
 	}
+	if c.guard != nil {
+		c.guard.Release()
+		c.guard = nil
+	}
 }
 
-// Truncate removes all rows (a fresh tree; old pages are abandoned, as this
-// engine has no free-space reuse).
+// retireContents publishes an empty version so a dropped (or
+// rename-replaced) table's pages reclaim once every snapshot that could
+// reach them closes. A stale handle used after the drop reads an empty
+// table — never freed pages — because readers guard-then-load and
+// retirement only ever accompanies a version publish.
+func (t *Table) retireContents() { _ = t.Truncate() }
+
+// Truncate removes all rows. The old version's tree pages are retired and
+// reclaimed once no snapshot still reads them.
 func (t *Table) Truncate() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	v := t.version.Load()
 	tree, err := storage.NewBTree(t.pool)
 	if err != nil {
 		return err
 	}
-	t.tree = tree
-	t.rows = 0
-	t.nextRowID = 1
-	t.nextIdentity = 1
-	t.columnar = nil
+	nv := &tableVersion{
+		seq: v.seq + 1, keyCols: v.keyCols, unique: v.unique,
+		tree: tree, treePages: []storage.PageID{tree.Root()},
+		nextRowID: 1, nextIdentity: 1,
+	}
+	t.publishLocked(v, nv)
 	return nil
 }
 
@@ -605,37 +878,33 @@ func (t *Table) Truncate() error {
 // by UPDATE/DELETE rewrites and CREATE CLUSTERED INDEX rebuilds. The new
 // contents bulk-load bottom-up: rowids restart at 1 and are assigned in
 // slice order, exactly as a Truncate followed by per-row Inserts would —
-// but the swap happens only after the replacement tree is fully built, so
-// a failed rewrite (e.g. an UPDATE that makes a primary key collide)
-// leaves the table untouched.
+// but the publish happens only after the replacement tree is fully built,
+// so a failed rewrite (e.g. an UPDATE that makes a primary key collide)
+// leaves the table untouched, and in-flight readers keep the version they
+// started with either way.
 func (t *Table) ReplaceAll(rows [][]Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	oldRows := t.rows
-	oldRowID, oldIdentity := t.nextRowID, t.nextIdentity
-	// With the counters zeroed, bulkInsertLocked takes the fresh-load path
-	// and only assigns t.tree once the replacement is fully built; the old
-	// tree stays in place (and is restored) on failure.
-	t.rows, t.nextRowID, t.nextIdentity = 0, 1, 1
-	if len(rows) == 0 {
-		tree, err := storage.NewBTree(t.pool)
-		if err != nil {
-			t.rows, t.nextRowID, t.nextIdentity = oldRows, oldRowID, oldIdentity
-			return err
-		}
-		t.tree = tree
-		t.columnar = nil
-		return nil
-	}
-	if err := t.bulkInsertLocked(len(rows), func(i int) []Value { return rows[i] }); err != nil {
-		t.rows, t.nextRowID, t.nextIdentity = oldRows, oldRowID, oldIdentity
+	return t.replaceAllLocked(rows)
+}
+
+// replaceAllLocked is ReplaceAll for callers already holding t.mu (the
+// UPDATE/DELETE executor, which must scan and replace under one writer
+// critical section to stay atomic against other writers).
+func (t *Table) replaceAllLocked(rows [][]Value) error {
+	v := t.version.Load()
+	nv, err := t.rebuiltVersion(v, v.keyCols, v.unique, len(rows), func(i int) []Value { return rows[i] })
+	if err != nil {
 		return err
 	}
+	t.publishLocked(v, nv)
 	return nil
 }
 
 // Recluster rebuilds the table ordered by the named key columns (CREATE
-// CLUSTERED INDEX). The new key is non-unique (rowid suffix).
+// CLUSTERED INDEX). The new key is non-unique (rowid suffix). Key layout
+// and tree change together in one published version, so no reader can
+// see the new ordering described by the old key columns or vice versa.
 func (t *Table) Recluster(keyCols []string) error {
 	idx := make([]int, len(keyCols))
 	for i, name := range keyCols {
@@ -645,8 +914,11 @@ func (t *Table) Recluster(keyCols []string) error {
 		}
 		idx[i] = ci
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.version.Load()
 	var rows [][]Value
-	c, err := t.Scan()
+	c, err := (TableView{t: t, v: v}).Scan()
 	if err != nil {
 		return err
 	}
@@ -657,18 +929,10 @@ func (t *Table) Recluster(keyCols []string) error {
 	if err := c.Err(); err != nil {
 		return err
 	}
-	t.mu.Lock()
-	oldKey, oldUnique := t.KeyCols, t.Unique
-	t.KeyCols = idx
-	t.Unique = false
-	t.mu.Unlock()
-	if err := t.ReplaceAll(rows); err != nil {
-		// The old tree is still in place; put the key metadata back so
-		// scans keep encoding bounds for the order the tree actually has.
-		t.mu.Lock()
-		t.KeyCols, t.Unique = oldKey, oldUnique
-		t.mu.Unlock()
+	nv, err := t.rebuiltVersion(v, idx, false, len(rows), func(i int) []Value { return rows[i] })
+	if err != nil {
 		return err
 	}
+	t.publishLocked(v, nv)
 	return nil
 }

@@ -24,6 +24,7 @@ type BulkLoader struct {
 	lastKey []byte
 	rec     []byte // leaf-record scratch, reused across Add calls
 	levels  []*loadLevel
+	pages   []PageID // every page this load allocated, in allocation order
 	count   int
 	done    bool
 }
@@ -45,13 +46,20 @@ func NewBulkLoader(pool *Pool) (*BulkLoader, error) {
 	}
 	h.Buf[0] = nodeLeaf
 	putChild(h.Buf, InvalidPageID)
-	b := &BulkLoader{pool: pool, leaf: h}
+	b := &BulkLoader{pool: pool, leaf: h, pages: []PageID{h.ID}}
 	b.leafP = InitSlotted(h.Buf, nodeReserve)
 	return b, nil
 }
 
 // Count returns the number of pairs added so far.
 func (b *BulkLoader) Count() int { return b.count }
+
+// Pages returns every page id the load allocated — after Finish, the
+// complete tree; after Abort, the abandoned pages. Because a bulk-loaded
+// tree is exactly its loader's allocations, the slice is a full page
+// inventory of the tree: retiring it deallocates the tree without a walk.
+// The loader keeps no reference after Finish/Abort; the caller owns it.
+func (b *BulkLoader) Pages() []PageID { return b.pages }
 
 // Add appends one pair. Keys must arrive strictly ascending; a duplicate or
 // out-of-order key is an error (the tree's keys are unique, and a bottom-up
@@ -83,6 +91,7 @@ func (b *BulkLoader) Add(key, value []byte) error {
 		if err != nil {
 			return err
 		}
+		b.pages = append(b.pages, next.ID)
 		next.Buf[0] = nodeLeaf
 		putChild(next.Buf, InvalidPageID)
 		nextP := InitSlotted(next.Buf, nodeReserve)
@@ -112,6 +121,7 @@ func (b *BulkLoader) promote(level int, leftSibling PageID, sepKey []byte, child
 		if err != nil {
 			return err
 		}
+		b.pages = append(b.pages, h.ID)
 		h.Buf[0] = nodeInternal
 		putChild(h.Buf, leftSibling)
 		p := InitSlotted(h.Buf, nodeReserve)
@@ -133,6 +143,7 @@ func (b *BulkLoader) promote(level int, leftSibling PageID, sepKey []byte, child
 	if err != nil {
 		return err
 	}
+	b.pages = append(b.pages, next.ID)
 	next.Buf[0] = nodeInternal
 	putChild(next.Buf, child)
 	nextP := InitSlotted(next.Buf, nodeReserve)
@@ -164,8 +175,9 @@ func (b *BulkLoader) Finish() (*BTree, error) {
 }
 
 // Abort releases the loader's pins without producing a tree. The pages
-// written so far are abandoned (this engine has no free-space reuse, same
-// as TRUNCATE). Safe to call after Finish, where it is a no-op.
+// written so far are abandoned; since the tree was never published, the
+// caller may Dealloc Pages() immediately. Safe to call after Finish,
+// where it is a no-op.
 func (b *BulkLoader) Abort() {
 	if b.done {
 		return

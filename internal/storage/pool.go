@@ -362,3 +362,29 @@ func (p *Pool) FlushAll() error {
 
 // Allocate reserves a page id without pinning it.
 func (p *Pool) Allocate() (PageID, error) { return p.store.Allocate() }
+
+// Dealloc drops the page's frame (no writeback — the page is dead) and
+// returns the id to the store's free list. If the frame is still pinned
+// (a leaf cache holding pins past its cursor, say) the call is a no-op
+// and the page leaks instead: the id is NOT freed, so it cannot be
+// reallocated under the pin. That is exactly the engine's pre-reclaim
+// behaviour, so a skipped page is safe, just unreclaimed. Dealloc counts
+// no I/O: it performs no reads and suppresses the writeback an eviction
+// would have done.
+func (p *Pool) Dealloc(id PageID) error {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	if idx, ok := sh.index[id]; ok {
+		f := &sh.frames[idx]
+		if f.pins > 0 {
+			sh.mu.Unlock()
+			return nil
+		}
+		delete(sh.index, id)
+		f.id = InvalidPageID
+		f.dirty = false
+		f.used = false
+	}
+	sh.mu.Unlock()
+	return p.store.Free(id)
+}

@@ -1,0 +1,144 @@
+package storage
+
+import "sync"
+
+// Reclaimer defers page deallocation until no reader can still reach the
+// pages. It is the storage half of sqldb's copy-on-write table versions:
+// writers publish a new tree and Retire the old one's pages; readers hold
+// a Guard for as long as they might follow the old root. A retired batch
+// is freed (Pool.Dealloc) once every guard that was live at retire time
+// has been released.
+//
+// The mechanism is a ticket epoch. Enter hands out monotonically
+// increasing tickets under the reclaimer's mutex; Retire stamps the batch
+// with the newest ticket issued so far. Any guard that could have loaded
+// the old version entered before the new version was published, and the
+// publish happens-before Retire (the writer does both), so that guard's
+// ticket is <= the stamp. A batch is therefore unreachable — and freed —
+// as soon as the minimum live ticket exceeds its stamp.
+//
+// Enter/Release cost one mutex acquisition plus an O(live guards) scan on
+// release; with guards scoped to a query snapshot or a cursor, the live
+// set stays small. All methods are safe for concurrent use.
+type Reclaimer struct {
+	pool *Pool
+
+	mu      sync.Mutex
+	next    uint64
+	active  map[uint64]struct{}
+	retired []retiredBatch
+}
+
+type retiredBatch struct {
+	stamp uint64
+	pages []PageID
+}
+
+// Guard is one reader's reservation: while held, no page batch retired
+// after the guard was entered is freed. Release is idempotent but must
+// not be called concurrently with itself.
+type Guard struct {
+	r      *Reclaimer
+	ticket uint64
+	done   bool
+}
+
+// NewReclaimer returns a reclaimer that frees pages into pool.
+func NewReclaimer(pool *Pool) *Reclaimer {
+	return &Reclaimer{pool: pool, active: make(map[uint64]struct{})}
+}
+
+// Enter registers a reader and returns its guard. Call before loading the
+// version pointer the guard is meant to protect: enter-then-load
+// guarantees any batch retired after the load carries a stamp >= this
+// guard's ticket.
+func (r *Reclaimer) Enter() *Guard {
+	r.mu.Lock()
+	r.next++
+	t := r.next
+	r.active[t] = struct{}{}
+	r.mu.Unlock()
+	return &Guard{r: r, ticket: t}
+}
+
+// Release ends the guard's reservation and frees whatever batches became
+// unreachable. Safe on a nil guard and after a prior Release.
+func (g *Guard) Release() {
+	if g == nil || g.done {
+		return
+	}
+	g.done = true
+	r := g.r
+	r.mu.Lock()
+	delete(r.active, g.ticket)
+	freeable := r.collectLocked()
+	r.mu.Unlock()
+	r.free(freeable)
+}
+
+// Retire schedules pages for deallocation once every guard live right now
+// has been released. With no live guards the pages free immediately. The
+// reclaimer takes ownership of the slice.
+func (r *Reclaimer) Retire(pages []PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.retired = append(r.retired, retiredBatch{stamp: r.next, pages: pages})
+	freeable := r.collectLocked()
+	r.mu.Unlock()
+	r.free(freeable)
+}
+
+// collectLocked removes and returns every batch whose stamp precedes the
+// minimum live ticket. Caller holds r.mu.
+func (r *Reclaimer) collectLocked() []PageID {
+	if len(r.retired) == 0 {
+		return nil
+	}
+	min := ^uint64(0)
+	for t := range r.active {
+		if t < min {
+			min = t
+		}
+	}
+	var out []PageID
+	kept := r.retired[:0]
+	for _, b := range r.retired {
+		if b.stamp < min {
+			out = append(out, b.pages...)
+		} else {
+			kept = append(kept, b)
+		}
+	}
+	// Zero the tail so freed batches don't pin their page slices.
+	for i := len(kept); i < len(r.retired); i++ {
+		r.retired[i] = retiredBatch{}
+	}
+	r.retired = kept
+	return out
+}
+
+// free deallocates outside the reclaimer's lock (Dealloc takes shard and
+// store locks of its own). Each batch is collected exactly once, so
+// concurrent callers never double-free.
+func (r *Reclaimer) free(pages []PageID) {
+	for _, id := range pages {
+		// A pinned frame makes Dealloc skip-and-leak; other errors mean
+		// the caller double-retired, which the version inventory rules
+		// out. Either way the reader-side invariant holds.
+		_ = r.pool.Dealloc(id)
+	}
+}
+
+// Pending returns the number of pages awaiting reclamation; tests use it
+// to pin the deferred-free lifecycle.
+func (r *Reclaimer) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, b := range r.retired {
+		n += len(b.pages)
+	}
+	return n
+}

@@ -14,6 +14,13 @@ type Store interface {
 	WritePage(id PageID, buf []byte) error
 	// Allocate reserves a fresh page and returns its id (never 0).
 	Allocate() (PageID, error)
+	// Free returns a page to the store's free list; a later Allocate may
+	// hand the id out again (zero-filled). The caller owns the proof that
+	// nothing references the page — the Reclaimer defers Free until no
+	// snapshot guard can still reach it. Freeing a page twice, or freeing
+	// one that is still reachable, corrupts whichever tree is handed the
+	// id next.
+	Free(id PageID) error
 	// NumPages returns the number of allocated pages, including page 0.
 	NumPages() int
 	Close() error
@@ -23,6 +30,7 @@ type Store interface {
 type MemStore struct {
 	mu    sync.Mutex
 	pages [][]byte
+	free  []PageID
 }
 
 // NewMemStore returns an empty in-memory store with page 0 allocated.
@@ -52,12 +60,30 @@ func (s *MemStore) WritePage(id PageID, buf []byte) error {
 	return nil
 }
 
-// Allocate implements Store.
+// Allocate implements Store. Freed pages are reused (zero-filled) before
+// the file of pages grows.
 func (s *MemStore) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		clear(s.pages[id])
+		return id, nil
+	}
 	s.pages = append(s.pages, make([]byte, PageSize))
 	return PageID(len(s.pages) - 1), nil
+}
+
+// Free implements Store.
+func (s *MemStore) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == 0 || int(id) >= len(s.pages) {
+		return fmt.Errorf("storage: free of invalid page %d", id)
+	}
+	s.free = append(s.free, id)
+	return nil
 }
 
 // NumPages implements Store.
@@ -71,11 +97,15 @@ func (s *MemStore) NumPages() int {
 func (s *MemStore) Close() error { return nil }
 
 // FileStore is a Store backed by a single file of concatenated pages.
+// Its free list is in-memory only: pages freed in one process lifetime
+// are reused within it, but a reopened store starts with no free pages
+// (the file never shrinks — the same trade TRUNCATE has always made).
 type FileStore struct {
 	mu   sync.Mutex
 	f    *os.File
 	n    int
 	path string
+	free []PageID
 }
 
 // OpenFileStore opens (or creates) a file store at path. A new file gets
@@ -126,17 +156,37 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 	return err
 }
 
-// Allocate implements Store.
+// Allocate implements Store. Freed pages are reused (zero-filled) before
+// the file grows.
 func (s *FileStore) Allocate() (PageID, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	id := PageID(s.n)
 	zero := make([]byte, PageSize)
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		if _, err := s.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+			return InvalidPageID, err
+		}
+		return id, nil
+	}
+	id := PageID(s.n)
 	if _, err := s.f.WriteAt(zero, int64(id)*PageSize); err != nil {
 		return InvalidPageID, err
 	}
 	s.n++
 	return id, nil
+}
+
+// Free implements Store.
+func (s *FileStore) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == 0 || int(id) >= s.n {
+		return fmt.Errorf("storage: free of invalid page %d in %s", id, s.path)
+	}
+	s.free = append(s.free, id)
+	return nil
 }
 
 // NumPages implements Store.

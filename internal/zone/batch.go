@@ -104,18 +104,18 @@ type zoneSweeper interface {
 // per-zone reset keeps each zone's pool-fetch sequence a pure function of
 // its windows, so io-ops stay identical at every worker count.
 type rowSweeper struct {
-	t      *sqldb.Table
+	tv     sqldb.TableView // the sweep's pinned version (Source.pin holds the guard)
 	cur    *sqldb.TableCursor
 	active []batchWindow
 }
 
 func (s *rowSweeper) sweepZone(ws []batchWindow, centers []astro.Vec3, r2s []float64, emit func(int, ZoneRow)) error {
 	if s.cur == nil {
-		s.cur = s.t.NewSweepCursor()
+		s.cur = s.tv.NewSweepCursor()
 	}
 	s.cur.ResetLeafCache()
 	var err error
-	s.cur, s.active, err = sweepZoneRows(s.t, ws, s.cur, s.active, centers, r2s, emit)
+	s.cur, s.active, err = sweepZoneRows(s.tv, ws, s.cur, s.active, centers, r2s, emit)
 	return err
 }
 
@@ -320,7 +320,7 @@ func sweepParallel(ctx context.Context, newSweeper func() zoneSweeper, ws []batc
 // their lower ra bound, expire past their upper bound, and the cursor
 // re-seeks only across gaps no window covers. Each row is decoded once and
 // tested against the active windows.
-func sweepZoneRows(t *sqldb.Table, ws []batchWindow, cur *sqldb.TableCursor, active []batchWindow,
+func sweepZoneRows(tv sqldb.TableView, ws []batchWindow, cur *sqldb.TableCursor, active []batchWindow,
 	centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) (*sqldb.TableCursor, []batchWindow, error) {
 	zoneVal := sqldb.Int(int64(ws[0].zone))
 	loVals := [2]sqldb.Value{zoneVal, {}}
@@ -330,7 +330,7 @@ func sweepZoneRows(t *sqldb.Table, ws []batchWindow, cur *sqldb.TableCursor, act
 	for k < len(ws) {
 		loVals[1] = sqldb.Float(ws[k].lo)
 		var err error
-		cur, err = t.RangeScanPrefixInto(loVals[:], hiVals[:], cur)
+		cur, err = tv.RangeScanPrefixInto(loVals[:], hiVals[:], cur)
 		if err != nil {
 			return cur, active[:0], err
 		}

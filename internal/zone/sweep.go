@@ -33,9 +33,14 @@ var errNilRowSource = errors.New("zone: nil row zone table")
 // call sequence; which zones made the prefix may vary with scheduling,
 // so callers must discard partial results on error.
 func Sweep(ctx context.Context, src Source, probes []Probe, opts SweepOptions, fn func(probe int, zr ZoneRow)) error {
-	if err := src.check(); err != nil {
+	// One pin covers the whole sweep: every worker's sweeper reads the same
+	// immutable table version, so a concurrent bulk load can never tear the
+	// result across zones.
+	newSweeper, release, err := src.pin()
+	if err != nil {
 		return err
 	}
+	defer release()
 	if len(probes) == 0 {
 		return nil
 	}
@@ -45,9 +50,9 @@ func Sweep(ctx context.Context, src Source, probes []Probe, opts SweepOptions, f
 	}
 	ws, centers, r2s := buildWindows(src.height(), probes)
 	if workers == 1 {
-		return sweepSequential(ctx, src.newSweeper(), ws, centers, r2s, fn)
+		return sweepSequential(ctx, newSweeper(), ws, centers, r2s, fn)
 	}
-	return sweepParallel(ctx, src.newSweeper, ws, centers, r2s, workers, opts.Stats, fn)
+	return sweepParallel(ctx, newSweeper, ws, centers, r2s, workers, opts.Stats, fn)
 }
 
 // SweepOptions carries Sweep's knobs; the zero value is a good default.
@@ -65,14 +70,16 @@ type SweepOptions struct {
 // clustered B+tree or the column-major segment store. Constructors carry
 // the zone height because it is a property of how the table was built,
 // not of an individual sweep. The interface is closed (unexported
-// methods): the two stores below are the only sweepable layouts.
+// methods): the sources below are the only sweepable layouts.
 type Source interface {
-	// check validates the source before a sweep trusts its layout.
-	check() error
 	// height returns the zone height in degrees the table was built with.
 	height() float64
-	// newSweeper returns a fresh per-worker sweeper over this source.
-	newSweeper() zoneSweeper
+	// pin validates the source and freezes its physical state for one
+	// sweep: every sweeper the returned factory makes reads the same
+	// immutable version, so workers can never observe different published
+	// states of a table written concurrently. release must be called once
+	// the sweep is done (it unpins the version's pages for reclamation).
+	pin() (newSweeper func() zoneSweeper, release func(), err error)
 }
 
 // Rows returns the Source reading t's row-major clustered B+tree, built
@@ -87,13 +94,14 @@ func Columnar(ct *colstore.Table, heightDeg float64) Source {
 	return colSource{ct: ct, heightDeg: heightDeg}
 }
 
-// TableSource returns the best Source for t: its columnar projection
-// when one is attached (and current), otherwise the row store.
+// TableSource returns the Source that picks t's best access path at sweep
+// time: pinning resolves one table version and reads its columnar
+// projection when that version carries one, otherwise its row tree. The
+// choice and the data come from the same version, so a write that
+// detaches the projection mid-decision cannot leave the sweep reading
+// segments that disagree with the rows.
 func TableSource(t *sqldb.Table, heightDeg float64) Source {
-	if ct := t.Columnar(); ct != nil {
-		return Columnar(ct, heightDeg)
-	}
-	return Rows(t, heightDeg)
+	return tableSource{t: t, heightDeg: heightDeg}
 }
 
 type rowSource struct {
@@ -101,20 +109,46 @@ type rowSource struct {
 	heightDeg float64
 }
 
-func (s rowSource) check() error {
+func (s rowSource) height() float64 { return s.heightDeg }
+func (s rowSource) pin() (func() zoneSweeper, func(), error) {
 	if s.t == nil {
-		return errNilRowSource
+		return nil, nil, errNilRowSource
 	}
-	return nil
+	tv, release := s.t.AcquireView()
+	return func() zoneSweeper { return &rowSweeper{tv: tv} }, release, nil
 }
-func (s rowSource) height() float64         { return s.heightDeg }
-func (s rowSource) newSweeper() zoneSweeper { return &rowSweeper{t: s.t} }
 
 type colSource struct {
 	ct        *colstore.Table
 	heightDeg float64
 }
 
-func (s colSource) check() error            { return checkColumnarZone(s.ct) }
-func (s colSource) height() float64         { return s.heightDeg }
-func (s colSource) newSweeper() zoneSweeper { return &colSweeper{t: s.ct} }
+func (s colSource) height() float64 { return s.heightDeg }
+func (s colSource) pin() (func() zoneSweeper, func(), error) {
+	if err := checkColumnarZone(s.ct); err != nil {
+		return nil, nil, err
+	}
+	// Segment pages are never reclaimed and ct is immutable: no unpin work.
+	return func() zoneSweeper { return &colSweeper{t: s.ct} }, func() {}, nil
+}
+
+type tableSource struct {
+	t         *sqldb.Table
+	heightDeg float64
+}
+
+func (s tableSource) height() float64 { return s.heightDeg }
+func (s tableSource) pin() (func() zoneSweeper, func(), error) {
+	if s.t == nil {
+		return nil, nil, errNilRowSource
+	}
+	tv, release := s.t.AcquireView()
+	if ct := tv.Columnar(); ct != nil {
+		if err := checkColumnarZone(ct); err != nil {
+			release()
+			return nil, nil, err
+		}
+		return func() zoneSweeper { return &colSweeper{t: ct} }, release, nil
+	}
+	return func() zoneSweeper { return &rowSweeper{tv: tv} }, release, nil
+}
