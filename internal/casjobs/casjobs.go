@@ -16,15 +16,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faultinject"
 	"repro/internal/sqldb"
+	"repro/internal/telemetry"
 )
 
 // Typed admission and lookup errors. The HTTP layer maps these onto
@@ -83,6 +86,9 @@ type Job struct {
 	// table (the CasJobs "SELECT ... INTO mydb.Name" behaviour).
 	OutputTable string
 	Quick       bool
+	// TraceID correlates this job across the query log, /debug/traces, and
+	// client-visible status; assigned at admission.
+	TraceID string
 
 	mu       sync.Mutex
 	status   JobStatus
@@ -101,6 +107,15 @@ type Job struct {
 // markDone closes the completion channel exactly once, no matter whether
 // the job finished, failed, timed out, or was cancelled while queued.
 func (j *Job) markDone() { j.doneOnce.Do(func() { close(j.done) }) }
+
+// queueName renders the queue the job was admitted to, as used in metric
+// labels and log records.
+func (j *Job) queueName() string {
+	if j.Quick {
+		return "quick"
+	}
+	return "long"
+}
 
 // Status returns the job's current state.
 func (j *Job) Status() JobStatus {
@@ -185,6 +200,13 @@ type Config struct {
 	// doubled per attempt (default 5ms).
 	MaxRetries int
 	RetryBase  time.Duration
+	// Logger, when set, receives a structured completion record per job
+	// (and admission failures are left to the HTTP layer's status codes).
+	// Nil keeps the server silent, as library users and tests expect.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs a warning with the query text for any
+	// job whose execution exceeds it. Requires Logger.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -305,6 +327,14 @@ type Server struct {
 	long  *jobQueue
 	wg    sync.WaitGroup
 
+	// met is the job-lifecycle instrumentation (nil until EnableMetrics);
+	// running counts executing jobs; tracer hands out job spans (no-ops
+	// until a sink is attached).
+	met     atomic.Pointer[serverMetrics]
+	reg     atomic.Pointer[telemetry.Registry]
+	running atomic.Int64
+	tracer  telemetry.Tracer
+
 	// MyDBFrames sizes each user's buffer pool; MyDBShards sets its shard
 	// count (0 = one per CPU).
 	MyDBFrames int
@@ -401,6 +431,7 @@ func (s *Server) cancelAll() {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
+	m := s.met.Load()
 	for _, j := range jobs {
 		j.mu.Lock()
 		switch j.status {
@@ -408,6 +439,7 @@ func (s *Server) cancelAll() {
 			j.status = StatusCancelled
 			j.err = "cancelled: server shutdown"
 			j.finished = s.now()
+			m.completed(j.queueName(), StatusCancelled, j.finished.Sub(j.created), 0, 0)
 			j.markDone()
 		case StatusRunning:
 			if j.cancel != nil {
@@ -545,9 +577,11 @@ func (s *Server) allowLocked(u *user) bool {
 // ErrRateLimited, ErrQueueFull, or ErrDraining. Against a shared context
 // only SELECT is allowed; against MYDB any statement runs.
 func (s *Server) Submit(userName, context, query, outputTable string, quick bool) (*Job, error) {
+	m := s.met.Load()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		m.reject("draining")
 		return nil, ErrDraining
 	}
 	u, ok := s.users[strings.ToLower(userName)]
@@ -564,6 +598,7 @@ func (s *Server) Submit(userName, context, query, outputTable string, quick bool
 	}
 	if !s.allowLocked(u) {
 		s.mu.Unlock()
+		m.reject("rate_limit")
 		return nil, fmt.Errorf("%w: user %q", ErrRateLimited, userName)
 	}
 	q := s.long
@@ -572,13 +607,16 @@ func (s *Server) Submit(userName, context, query, outputTable string, quick bool
 	}
 	if q.depth() >= s.cfg.MaxQueue {
 		s.mu.Unlock()
+		m.reject("queue_full")
 		return nil, fmt.Errorf("%w: %d jobs queued", ErrQueueFull, s.cfg.MaxQueue)
 	}
 	s.nextID++
+	created := s.now()
 	job := &Job{
 		ID: s.nextID, User: u.name, Context: ctx, Query: query,
 		OutputTable: outputTable, Quick: quick,
-		status: StatusQueued, created: s.now(),
+		TraceID: fmt.Sprintf("%d-%08x", s.nextID, uint32(created.UnixNano())),
+		status:  StatusQueued, created: created,
 		done: make(chan struct{}),
 	}
 	s.jobs[job.ID] = job
@@ -586,9 +624,11 @@ func (s *Server) Submit(userName, context, query, outputTable string, quick bool
 		// The queue closed between the draining check and the push.
 		delete(s.jobs, job.ID)
 		s.mu.Unlock()
+		m.reject("draining")
 		return nil, ErrDraining
 	}
 	s.mu.Unlock()
+	m.admitted(job.queueName(), job.User)
 
 	if quick {
 		<-job.done
@@ -642,6 +682,7 @@ func (s *Server) Cancel(id int64) error {
 	if err != nil {
 		return err
 	}
+	m := s.met.Load()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.status {
@@ -657,12 +698,15 @@ func (s *Server) Cancel(id int64) error {
 		} else {
 			s.long.remove(j)
 		}
+		m.cancelled()
+		m.completed(j.queueName(), StatusCancelled, j.finished.Sub(j.created), 0, 0)
 		j.markDone()
 		return nil
 	case StatusRunning:
 		if j.cancel != nil {
 			j.cancel()
 		}
+		m.cancelled()
 		return nil
 	case StatusCancelled:
 		return nil
@@ -683,7 +727,9 @@ func (s *Server) workerLoop(q *jobQueue, timeout time.Duration) {
 }
 
 // runJob executes one popped job under its queue's deadline, classifying
-// the outcome into finished / failed / cancelled.
+// the outcome into finished / failed / cancelled. Completion is the job's
+// observability point: the lifecycle counters, the trace span, and the
+// structured query log all record here, once, after the job is terminal.
 func (s *Server) runJob(j *Job, timeout time.Duration) {
 	j.mu.Lock()
 	if j.status != StatusQueued {
@@ -696,8 +742,16 @@ func (s *Server) runJob(j *Job, timeout time.Duration) {
 	j.status = StatusRunning
 	j.started = s.now()
 	j.cancel = cancel
+	queueWait := j.started.Sub(j.created)
 	j.mu.Unlock()
 	defer cancel()
+
+	s.running.Add(1)
+	defer s.running.Add(-1)
+	sp := s.tracer.Start("casjobs.job", j.TraceID)
+	sp.SetAttr("user", j.User)
+	sp.SetAttr("queue", j.queueName())
+	sp.SetAttr("context", j.Context)
 
 	var rows *sqldb.Rows
 	var count int64
@@ -722,7 +776,37 @@ func (s *Server) runJob(j *Job, timeout time.Duration) {
 	j.rowCount = count
 	j.finished = s.now()
 	j.cancel = nil
+	attempts := j.attempts
+	exec := j.finished.Sub(j.started)
 	j.mu.Unlock()
+
+	// Record before markDone: a caller woken by Wait (or a quick Submit)
+	// must find the completion counters bumped and the log line written.
+	sp.SetAttr("status", status.String())
+	sp.SetAttr("attempts", fmt.Sprint(attempts))
+	sp.End()
+	s.met.Load().completed(j.queueName(), status, queueWait, exec, int64(attempts-1))
+	if lg := s.cfg.Logger; lg != nil {
+		attrs := []any{
+			"job", j.ID, "user", j.User, "queue", j.queueName(),
+			"context", j.Context, "status", status.String(),
+			"attempts", attempts, "rows", count,
+			"queue_wait_ms", queueWait.Seconds() * 1e3,
+			"exec_ms", exec.Seconds() * 1e3,
+			"trace", j.TraceID,
+		}
+		if errMsg != "" {
+			attrs = append(attrs, "error", errMsg)
+		}
+		lg.Info("job complete", attrs...)
+		if s.cfg.SlowQuery > 0 && exec >= s.cfg.SlowQuery {
+			lg.Warn("slow query",
+				"job", j.ID, "user", j.User, "trace", j.TraceID,
+				"exec_ms", exec.Seconds()*1e3,
+				"threshold_ms", s.cfg.SlowQuery.Seconds()*1e3,
+				"query", j.Query)
+		}
+	}
 	j.markDone()
 }
 

@@ -8,6 +8,8 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+
+	"repro/internal/telemetry"
 )
 
 // Handler exposes the server over HTTP with JSON responses — the Web
@@ -24,6 +26,9 @@ import (
 //	GET  /contexts                               shared context names
 //	GET  /tables?user=&context=MYDB              table names + row counts,
 //	                                             all from one snapshot
+//	GET  /metrics                                Prometheus text exposition
+//	                                             (404 until EnableMetrics)
+//	GET  /healthz                                200 serving / 503 draining
 //
 // Admission failures map onto status codes: unknown user/context/job are
 // 404, rate limiting is 429, a full queue or a draining server is 503,
@@ -37,7 +42,30 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/submit", s.handleSubmit)
 	mux.HandleFunc("/cancel", s.handleCancel)
 	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := s.reg.Load()
+	if reg == nil {
+		httpError(w, http.StatusNotFound, "metrics not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	_ = reg.WritePrometheus(w)
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while admitting,
+// 503 once draining so load balancers stop routing before shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = io.WriteString(w, "draining\n")
+		return
+	}
+	_, _ = io.WriteString(w, "ok\n")
 }
 
 // statusFromErr maps the service's typed errors onto HTTP status codes.
@@ -193,7 +221,7 @@ func jobView(j *Job) map[string]any {
 	v := map[string]any{
 		"id": j.ID, "user": j.User, "context": j.Context,
 		"status": j.Status().String(), "rows": j.RowCount(),
-		"attempts": j.Attempts(),
+		"attempts": j.Attempts(), "trace": j.TraceID,
 	}
 	if e := j.Err(); e != "" {
 		v["error"] = e

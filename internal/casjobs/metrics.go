@@ -1,0 +1,142 @@
+package casjobs
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// serverMetrics is the service-layer instrumentation, attached by
+// EnableMetrics through an atomic pointer so an uninstrumented server
+// (every unit test, every benchmark) pays one pointer load per job
+// lifecycle event. Counting happens at job boundaries — admission,
+// terminal transition, cancellation — never per row.
+type serverMetrics struct {
+	subs     *telemetry.CounterVec   // {queue}
+	rejs     *telemetry.CounterVec   // {reason}
+	comps    *telemetry.CounterVec   // {queue, status}
+	userJobs *telemetry.CounterVec   // {user}
+	retries  *telemetry.Counter      // attempts beyond the first
+	cancels  *telemetry.Counter      // Cancel calls that stopped a job
+	waitHist *telemetry.HistogramVec // {queue}
+	execHist *telemetry.HistogramVec // {queue}
+}
+
+// reject counts a refused submission; nil-safe.
+func (m *serverMetrics) reject(reason string) {
+	if m != nil {
+		m.rejs.With(reason).Inc()
+	}
+}
+
+// admitted counts a successful submission; nil-safe.
+func (m *serverMetrics) admitted(queue, user string) {
+	if m != nil {
+		m.subs.With(queue).Inc()
+		m.userJobs.With(user).Inc()
+	}
+}
+
+// completed records a job reaching a terminal state; nil-safe. Jobs
+// cancelled while queued pass a zero exec duration and never observe the
+// execution histogram.
+func (m *serverMetrics) completed(queue string, status JobStatus, wait, exec time.Duration, retries int64) {
+	if m == nil {
+		return
+	}
+	m.comps.With(queue, status.String()).Inc()
+	m.waitHist.With(queue).Observe(wait.Seconds())
+	if exec > 0 || status != StatusCancelled {
+		m.execHist.With(queue).Observe(exec.Seconds())
+	}
+	if retries > 0 {
+		m.retries.Add(retries)
+	}
+}
+
+// cancelled counts a Cancel request that actually stopped a job; nil-safe.
+func (m *serverMetrics) cancelled() {
+	if m != nil {
+		m.cancels.Inc()
+	}
+}
+
+// EnableMetrics attaches the server's job-lifecycle counters to r. Queue
+// depth, running jobs, and user counts are scrape-time funcs over state
+// the server already keeps; MyDB I/O is exposed as a point-in-time sum
+// over every user's pool (individual MyDB pools come and go with users, a
+// label per user would leak unbounded families). Safe to call once per
+// registry; calling again rebinds the scrape funcs and resets nothing.
+func (s *Server) EnableMetrics(r *telemetry.Registry) {
+	m := &serverMetrics{
+		subs:     r.NewCounterVec("casjobs_jobs_submitted_total", "jobs admitted into a queue", "queue"),
+		rejs:     r.NewCounterVec("casjobs_jobs_rejected_total", "submissions refused at admission", "reason"),
+		comps:    r.NewCounterVec("casjobs_jobs_completed_total", "jobs reaching a terminal state", "queue", "status"),
+		userJobs: r.NewCounterVec("casjobs_user_jobs_total", "jobs admitted per user", "user"),
+		retries:  r.NewCounter("casjobs_job_retries_total", "extra execution attempts after transient faults"),
+		cancels:  r.NewCounter("casjobs_cancellations_total", "cancel requests that stopped a queued or running job"),
+		waitHist: r.NewHistogramVec("casjobs_queue_wait_seconds", "time from admission to execution start", nil, "queue"),
+		execHist: r.NewHistogramVec("casjobs_exec_seconds", "job execution wall time", nil, "queue"),
+	}
+	// Seed the fixed label spaces so dashboards see explicit zeros before
+	// the first event of each kind.
+	for _, q := range []string{"quick", "long"} {
+		m.subs.With(q)
+		m.waitHist.With(q)
+		m.execHist.With(q)
+	}
+	for _, reason := range []string{"rate_limit", "queue_full", "draining"} {
+		m.rejs.With(reason)
+	}
+
+	depth := r.NewGaugeFuncVec("casjobs_queue_depth", "jobs waiting in the queue", "queue")
+	depth.Attach(func() float64 { return float64(s.quick.depth()) }, "quick")
+	depth.Attach(func() float64 { return float64(s.long.depth()) }, "long")
+	r.NewGaugeFunc("casjobs_jobs_running", "jobs currently executing",
+		func() float64 { return float64(s.running.Load()) })
+	r.NewGaugeFunc("casjobs_users", "registered users", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.users))
+	})
+	r.NewGaugeFunc("casjobs_jobs_tracked", "jobs the server remembers (all states)", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.jobs))
+	})
+	r.NewGaugeFunc("casjobs_draining", "1 while the server refuses new work", func() float64 {
+		if s.Draining() {
+			return 1
+		}
+		return 0
+	})
+
+	r.NewGaugeFunc("casjobs_mydb_pools", "user MyDB buffer pools alive",
+		func() float64 { s.mu.Lock(); defer s.mu.Unlock(); return float64(len(s.users)) })
+	r.NewCounterFunc("casjobs_mydb_logical_reads_total", "page fetches summed over every MyDB pool",
+		func() float64 { lr, _, _ := s.mydbIO(); return float64(lr) })
+	r.NewCounterFunc("casjobs_mydb_physical_reads_total", "store reads summed over every MyDB pool",
+		func() float64 { _, pr, _ := s.mydbIO(); return float64(pr) })
+	r.NewCounterFunc("casjobs_mydb_physical_writes_total", "store writes summed over every MyDB pool",
+		func() float64 { _, _, pw := s.mydbIO(); return float64(pw) })
+
+	s.met.Store(m)
+	s.reg.Store(r)
+}
+
+// mydbIO sums raw I/O counters across every user's MyDB pool.
+func (s *Server) mydbIO() (logical, physReads, physWrites int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range s.users {
+		st := u.mydb.Stats()
+		logical += st.LogicalReads
+		physReads += st.PhysicalReads
+		physWrites += st.PhysicalWrites
+	}
+	return logical, physReads, physWrites
+}
+
+// Tracer returns the server's job tracer; attach a ring sink to start
+// collecting spans (casjobsd does this under -debug-addr).
+func (s *Server) Tracer() *telemetry.Tracer { return &s.tracer }

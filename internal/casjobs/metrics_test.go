@@ -1,0 +1,204 @@
+package casjobs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// scrape fetches /metrics through the public handler.
+func scrape(t *testing.T, s *Server) string {
+	t.Helper()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("GET /metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsScrapeAfterJobs is the end-to-end observability check: after
+// real jobs run through the service, one /metrics scrape shows the queue
+// families, the per-user counters, the shared context's pool and
+// reclaimer families, and the job duration histograms — all live.
+func TestMetricsScrapeAfterJobs(t *testing.T) {
+	s := newTestServer(t)
+	reg := telemetry.NewRegistry()
+	s.EnableMetrics(reg)
+	dr1, _ := s.contexts["DR1"]
+	dr1.EnableMetrics(reg, "dr1")
+
+	if _, err := s.Submit("maria", "DR1", "SELECT COUNT(*) FROM galaxy", "", true); err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit("maria", "DR1", "SELECT objid, i FROM galaxy WHERE i < 17", "bright", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := s.Wait(job.ID); err != nil || st != StatusFinished {
+		t.Fatalf("long job: status %v err %v (%s)", st, err, job.Err())
+	}
+	if _, err := s.Submit("maria", "DR1", "DROP TABLE galaxy", "", true); err != nil {
+		t.Fatal(err) // admission succeeds; the job fails (read-only context)
+	}
+
+	out := scrape(t, s)
+	for _, want := range []string{
+		`casjobs_jobs_submitted_total{queue="quick"} 2`,
+		`casjobs_jobs_submitted_total{queue="long"} 1`,
+		`casjobs_jobs_completed_total{queue="quick",status="finished"} 1`,
+		`casjobs_jobs_completed_total{queue="quick",status="failed"} 1`,
+		`casjobs_jobs_completed_total{queue="long",status="finished"} 1`,
+		`casjobs_user_jobs_total{user="maria"} 3`,
+		`casjobs_jobs_rejected_total{reason="rate_limit"} 0`,
+		`casjobs_queue_depth{queue="quick"} 0`,
+		`casjobs_jobs_running 0`,
+		`casjobs_users 2`,
+		`casjobs_draining 0`,
+		`casjobs_exec_seconds_count{queue="quick"} 2`,
+		`casjobs_queue_wait_seconds_count{queue="long"} 1`,
+		`pool_logical_reads_total{pool="dr1"}`,
+		`pool_frames{pool="dr1"}`,
+		`reclaim_retired_pages_total{pool="dr1"}`,
+		`sql_statements_total{db="dr1",verb="select"}`,
+		`casjobs_mydb_physical_writes_total`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", out)
+	}
+}
+
+// TestMetricsCountRejectionsAndCancels drives each admission failure and
+// a queued-job cancellation through the counters.
+func TestMetricsCountRejectionsAndCancels(t *testing.T) {
+	cfg := Config{QuickWorkers: 1, LongWorkers: 1, UserQPS: 0.001, UserBurst: 1, MaxQueue: 1}
+	s := NewServerConfig(nil, cfg)
+	t.Cleanup(s.Close)
+	reg := telemetry.NewRegistry()
+	s.EnableMetrics(reg)
+	if err := s.CreateUser("maria"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Token bucket holds one token: the second submission is rate limited.
+	job, err := s.Submit("maria", "MYDB", "CREATE TABLE t (a bigint PRIMARY KEY)", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("maria", "MYDB", "SELECT 1", "", false); err == nil {
+		t.Fatal("expected rate limit")
+	}
+	if _, err := s.Wait(job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`casjobs_jobs_rejected_total{reason="rate_limit"} 1`,
+		`casjobs_jobs_submitted_total{queue="long"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestJobTraceAndLog checks the span sink and the structured query log
+// fire on completion with the job's trace id in both.
+func TestJobTraceAndLog(t *testing.T) {
+	var logBuf bytes.Buffer
+	s := NewServerConfig(nil, Config{
+		QuickWorkers: 1, LongWorkers: 1,
+		Logger:    slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		SlowQuery: time.Nanosecond, // everything is slow: the Warn path must fire
+	})
+	t.Cleanup(s.Close)
+	sink := s.Tracer().Attach(16)
+	if err := s.CreateUser("maria"); err != nil {
+		t.Fatal(err)
+	}
+	job, err := s.Submit("maria", "MYDB", "CREATE TABLE t (a bigint PRIMARY KEY)", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.TraceID == "" {
+		t.Fatal("job has no trace id")
+	}
+
+	spans := sink.Recent()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Name != "casjobs.job" || sp.ID != job.TraceID {
+		t.Errorf("span = %q/%q, want casjobs.job/%q", sp.Name, sp.ID, job.TraceID)
+	}
+	if sp.Attrs["status"] != "finished" || sp.Attrs["user"] != "maria" || sp.Attrs["queue"] != "quick" {
+		t.Errorf("span attrs = %v", sp.Attrs)
+	}
+	if sp.Duration <= 0 {
+		t.Errorf("span duration = %v", sp.Duration)
+	}
+
+	logs := logBuf.String()
+	for _, want := range []string{
+		`"msg":"job complete"`, `"status":"finished"`, `"user":"maria"`,
+		`"trace":"` + job.TraceID + `"`, `"msg":"slow query"`,
+		`"query":"CREATE TABLE t (a bigint PRIMARY KEY)"`,
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("query log missing %s:\n%s", want, logs)
+		}
+	}
+}
+
+// TestHealthz pins the probe's drain transition.
+func TestHealthz(t *testing.T) {
+	s := NewServerConfig(nil, Config{})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	get := func() int {
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != 200 {
+		t.Fatalf("healthy probe = %d", code)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := get(); code != 503 {
+		t.Fatalf("draining probe = %d", code)
+	}
+}

@@ -26,6 +26,11 @@ type DB struct {
 
 	ddl sync.Mutex // serialises catalog transitions (one clone-and-swap at a time)
 	cat atomic.Pointer[catalog]
+
+	// met is the statement-level instrumentation attached by
+	// EnableMetrics; nil (the default) keeps every statement free of
+	// metric work beyond one pointer load.
+	met atomic.Pointer[dbMetrics]
 }
 
 // catalog is one immutable published state of the database's namespace:
@@ -384,7 +389,14 @@ func (db *DB) QueryContext(ctx context.Context, sql string, args ...Value) (*Row
 	}
 	switch s := stmt.(type) {
 	case *SelectStmt:
-		return db.execSelect(ctx, s, args)
+		m := db.metrics()
+		start := m.now()
+		rows, err := db.execSelect(ctx, s, args)
+		if err == nil {
+			m.statement("select", start)
+			m.out(int64(rows.Len()))
+		}
+		return rows, err
 	case *ExplainStmt:
 		return db.execExplain(ctx, s, args)
 	}
@@ -419,7 +431,8 @@ func (db *DB) QueryIterContext(ctx context.Context, sql string, args ...Value) (
 		snap.Close()
 		return nil, err
 	}
-	return &RowIter{cols: cols, op: op, snap: snap}, nil
+	m := db.metrics()
+	return &RowIter{cols: cols, op: op, snap: snap, met: m, start: m.now()}, nil
 }
 
 // Explain compiles a SELECT (a bare one, or an EXPLAIN [ANALYZE] wrapper)
@@ -453,6 +466,8 @@ func (db *DB) Explain(sql string, args ...Value) (string, error) {
 // execExplain plans (and under ANALYZE, runs) the wrapped SELECT, then
 // renders the operator tree one line per row.
 func (db *DB) execExplain(ctx context.Context, s *ExplainStmt, params []Value) (*Rows, error) {
+	m := db.metrics()
+	start := m.now()
 	snap := db.Snapshot()
 	defer snap.Close()
 	op, _, err := db.planSelect(ctx, s.Query, params, snap)
@@ -461,10 +476,12 @@ func (db *DB) execExplain(ctx context.Context, s *ExplainStmt, params []Value) (
 	}
 	defer op.close()
 	if s.Analyze {
+		enableTiming(op)
 		if err := drainDiscard(op); err != nil {
 			return nil, err
 		}
 	}
+	m.statement("explain", start)
 	lines := renderPlan(op, s.Analyze)
 	data := make([][]Value, len(lines))
 	for i, l := range lines {
@@ -508,45 +525,86 @@ func (db *DB) ExecScript(sql string, args ...Value) error {
 }
 
 func (db *DB) execStmt(ctx context.Context, stmt Statement, params []Value) (int64, error) {
+	m := db.metrics()
+	start := m.now()
 	switch s := stmt.(type) {
 	case *SelectStmt:
 		rows, err := db.execSelect(ctx, s, params)
 		if err != nil {
 			return 0, err
 		}
+		m.statement("select", start)
+		m.out(int64(rows.Len()))
 		return int64(rows.Len()), nil
 	case *ExplainStmt:
+		// execExplain records its own verb so the Explain convenience
+		// entry point counts identically.
 		rows, err := db.execExplain(ctx, s, params)
 		if err != nil {
 			return 0, err
 		}
 		return int64(rows.Len()), nil
 	case *CreateTableStmt:
-		return 0, db.execCreateTable(s)
+		err := db.execCreateTable(s)
+		if err == nil {
+			m.statement("create_table", start)
+		}
+		return 0, err
 	case *CreateIndexStmt:
-		return 0, db.execCreateIndex(s)
+		err := db.execCreateIndex(s)
+		if err == nil {
+			m.statement("create_index", start)
+		}
+		return 0, err
 	case *CreateProjectionStmt:
 		t, ok := db.Table(s.Table)
 		if !ok {
 			return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
 		}
 		_, err := t.BuildColumnarProjection()
+		if err == nil {
+			m.statement("create_projection", start)
+		}
 		return 0, err
 	case *DropTableStmt:
-		return 0, db.DropTable(s.Name, s.IfExists)
+		err := db.DropTable(s.Name, s.IfExists)
+		if err == nil {
+			m.statement("drop_table", start)
+		}
+		return 0, err
 	case *TruncateStmt:
 		t, ok := db.Table(s.Table)
 		if !ok {
 			return 0, fmt.Errorf("sqldb: unknown table %s", s.Table)
 		}
 		n := t.NumRows()
-		return n, t.Truncate()
+		err := t.Truncate()
+		if err == nil {
+			m.statement("truncate", start)
+			m.wrote(n)
+		}
+		return n, err
 	case *InsertStmt:
-		return db.execInsert(ctx, s, params)
+		n, err := db.execInsert(ctx, s, params)
+		if err == nil {
+			m.statement("insert", start)
+			m.wrote(n)
+		}
+		return n, err
 	case *UpdateStmt:
-		return db.execUpdate(ctx, s, params)
+		n, err := db.execUpdate(ctx, s, params)
+		if err == nil {
+			m.statement("update", start)
+			m.wrote(n)
+		}
+		return n, err
 	case *DeleteStmt:
-		return db.execDelete(ctx, s, params)
+		n, err := db.execDelete(ctx, s, params)
+		if err == nil {
+			m.statement("delete", start)
+			m.wrote(n)
+		}
+		return n, err
 	}
 	return 0, fmt.Errorf("sqldb: unsupported statement %T", stmt)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // SELECT execution sits on the plan layer: execSelect compiles the
@@ -72,6 +73,12 @@ type RowIter struct {
 	row    []Value
 	err    error
 	closed bool
+
+	// Attached metrics: rows are tallied locally per Next and flushed as
+	// one batch at Close, so streaming pays no per-row metric work.
+	met   *dbMetrics
+	start time.Time
+	n     int64
 }
 
 // Columns returns the output column names.
@@ -91,6 +98,7 @@ func (it *RowIter) Next() bool {
 	if row == nil {
 		return false
 	}
+	it.n++
 	it.row = row
 	return true
 }
@@ -109,6 +117,10 @@ func (it *RowIter) Close() {
 		it.op.close()
 		if it.snap != nil {
 			it.snap.Close()
+		}
+		if it.met != nil {
+			it.met.statement("select", it.start)
+			it.met.out(it.n)
 		}
 	}
 }

@@ -1,0 +1,93 @@
+package sqldb
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// dbMetrics is the database's statement-level instrumentation, attached
+// by EnableMetrics and read through an atomic pointer: a DB without
+// metrics (every benchmark fixture) pays one pointer load and a nil
+// check per statement, nothing per row. Counting happens at statement
+// boundaries — verb and plan-rule counters once per statement, rows-out
+// once per result set — never inside operator loops.
+type dbMetrics struct {
+	name     string
+	verbs    *telemetry.CounterVec // sql_statements_total{db,verb}
+	rules    *telemetry.CounterVec // sql_plan_rules_total{db,rule}
+	rowsOut  *telemetry.CounterVec // sql_rows_out_total{db}
+	affected *telemetry.CounterVec // sql_rows_affected_total{db}
+	duration *telemetry.HistogramVec
+}
+
+// EnableMetrics registers the database's statement counters, plan-rule
+// counters, rows-out/affected counters, and query latency histogram with
+// r under the given database name, along with the underlying pool and
+// reclaimer families. Call once at service start; calling again rebinds
+// to a new registry.
+func (db *DB) EnableMetrics(r *telemetry.Registry, name string) {
+	m := &dbMetrics{
+		name: name,
+		verbs: r.NewCounterVec("sql_statements_total",
+			"statements executed by verb", "db", "verb"),
+		rules: r.NewCounterVec("sql_plan_rules_total",
+			"physical plan operators selected by the planner's rules", "db", "rule"),
+		rowsOut: r.NewCounterVec("sql_rows_out_total",
+			"result rows returned to clients", "db"),
+		affected: r.NewCounterVec("sql_rows_affected_total",
+			"rows written by INSERT/UPDATE/DELETE", "db"),
+		duration: r.NewHistogramVec("sql_query_seconds",
+			"statement wall time", nil, "db"),
+	}
+	db.met.Store(m)
+	db.pool.MetricsInto(r, name)
+	db.rec.MetricsInto(r, name)
+}
+
+// metrics returns the attached metrics, or nil. All dbMetrics methods
+// are nil-safe so call sites stay unconditional.
+func (db *DB) metrics() *dbMetrics { return db.met.Load() }
+
+// statement records one executed statement: its verb and wall time since
+// start.
+func (m *dbMetrics) statement(verb string, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.verbs.With(m.name, verb).Inc()
+	m.duration.With(m.name).Observe(time.Since(start).Seconds())
+}
+
+// now returns the statement start time, or the zero time when metrics are
+// detached so the unobserved path never reads the clock.
+func (m *dbMetrics) now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// rule records one planner rule selection (the physical operator chosen).
+func (m *dbMetrics) rule(name string) {
+	if m == nil {
+		return
+	}
+	m.rules.With(m.name, name).Inc()
+}
+
+// out records result rows returned to a client.
+func (m *dbMetrics) out(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.rowsOut.With(m.name).Add(n)
+}
+
+// wrote records rows written by a DML statement.
+func (m *dbMetrics) wrote(n int64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.affected.With(m.name).Add(n)
+}

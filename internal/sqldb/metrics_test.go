@@ -1,0 +1,94 @@
+package sqldb
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestDBMetricsCounters drives one of each statement verb through an
+// instrumented DB and checks the verb, plan-rule, rows-out, and
+// rows-affected families scrape with the right values.
+func TestDBMetricsCounters(t *testing.T) {
+	db := planFixture(t)
+	reg := telemetry.NewRegistry()
+	db.EnableMetrics(reg, "test")
+
+	rows := mustQuery(t, db, "SELECT zoneid, ra FROM Zone")
+	if rows.Len() != 12 {
+		t.Fatalf("fixture: got %d rows", rows.Len())
+	}
+	mustExec(t, db, "INSERT INTO Zone VALUES (9, 99, 0, 0), (9, 100, 0, 0)")
+	mustExec(t, db, "UPDATE Zone SET val = 1 WHERE zoneid = 9")
+	mustExec(t, db, "DELETE FROM Zone WHERE zoneid = 9")
+	if _, err := db.Explain("EXPLAIN ANALYZE SELECT ra FROM Zone WHERE zoneid = 2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A streaming query flushes its row count at Close.
+	it, err := db.QueryIter("SELECT ra FROM Zone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next() {
+		n++
+	}
+	it.Close()
+	if n != 12 {
+		t.Fatalf("iter: got %d rows", n)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`sql_statements_total{db="test",verb="select"} 2`,
+		`sql_statements_total{db="test",verb="insert"} 1`,
+		`sql_statements_total{db="test",verb="update"} 1`,
+		`sql_statements_total{db="test",verb="delete"} 1`,
+		`sql_statements_total{db="test",verb="explain"} 1`,
+		`sql_rows_out_total{db="test"} 24`,
+		`sql_rows_affected_total{db="test"} 6`,
+		`sql_plan_rules_total{db="test",rule="SeqScan"} 2`,
+		`sql_plan_rules_total{db="test",rule="RangeScan"}`,
+		`pool_logical_reads_total{pool="test"}`,
+		`reclaim_retired_pages_total{pool="test"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", out)
+	}
+
+	// sql_query_seconds histogram counted every statement above.
+	if !regexp.MustCompile(`sql_query_seconds_count\{db="test"\} \d`).MatchString(out) {
+		t.Errorf("query duration histogram missing:\n%s", out)
+	}
+}
+
+// TestExplainAnalyzeOperatorTiming pins the span surface of EXPLAIN
+// ANALYZE: every executed operator line carries a wall-time annotation,
+// and plain EXPLAIN carries none (the timing flag — and its defer — only
+// exists under ANALYZE).
+func TestExplainAnalyzeOperatorTiming(t *testing.T) {
+	db := planFixture(t)
+	analyzed := mustExplain(t, db, "EXPLAIN ANALYZE SELECT ra FROM Zone WHERE zoneid = 2 ORDER BY ra")
+	msRe := regexp.MustCompile(`\(\d+\.\d{3} ms\)`)
+	for _, line := range strings.Split(analyzed, "\n") {
+		if !msRe.MatchString(line) {
+			t.Errorf("operator line missing wall time: %q", line)
+		}
+	}
+
+	plain := mustExplain(t, db, "SELECT ra FROM Zone WHERE zoneid = 2")
+	if msRe.MatchString(plain) {
+		t.Errorf("plain EXPLAIN shows timings:\n%s", plain)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/colstore"
 )
@@ -93,11 +94,30 @@ func (c *cancelCheck) execCtx() context.Context {
 
 // opStats carries the row-count bookkeeping every operator shares.
 // est is the planner's estimate (-1 when unknown); actual counts rows the
-// operator has emitted, reported by EXPLAIN ANALYZE.
+// operator has emitted, reported by EXPLAIN ANALYZE. When timed is set
+// (execExplain flips it on the whole tree before an ANALYZE run) nanos
+// accumulates the operator's wall time across next() calls, inclusive of
+// its children; untimed plans pay one predicted branch per row and never
+// allocate, which is what keeps the gated benchmarks byte-identical.
 type opStats struct {
 	est    int64
 	actual int64
 	ran    bool
+	timed  bool
+	nanos  int64
+}
+
+// timeFrom accumulates wall time since t0. Operators invoke it through a
+// conditional defer at the top of next(); the defer only exists on the
+// timed path.
+func (st *opStats) timeFrom(t0 time.Time) { st.nanos += int64(time.Since(t0)) }
+
+// enableTiming marks every operator in the tree for wall-time collection.
+func enableTiming(op physOp) {
+	op.stats().timed = true
+	for _, k := range op.children() {
+		enableTiming(k)
+	}
 }
 
 // physOp is a physical plan operator: a row iterator (next returns nil at
@@ -177,6 +197,9 @@ type valuesOp struct {
 }
 
 func (o *valuesOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if o.i >= len(o.rows) {
 		return nil, nil
@@ -212,6 +235,9 @@ type seqScanOp struct {
 }
 
 func (o *seqScanOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if err := o.cc.tick(); err != nil {
 		return nil, err
@@ -254,6 +280,9 @@ type rangeScanOp struct {
 }
 
 func (o *rangeScanOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if err := o.cc.tick(); err != nil {
 		return nil, err
@@ -369,6 +398,9 @@ func boundAsFloat(v Value) (float64, bool) {
 }
 
 func (o *columnarScanOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if err := o.cc.tick(); err != nil {
 		return nil, err
@@ -445,6 +477,9 @@ type tvfScanOp struct {
 }
 
 func (o *tvfScanOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if !o.started {
 		o.started = true
@@ -502,6 +537,9 @@ type tvfApplyOp struct {
 }
 
 func (o *tvfApplyOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	for {
 		for o.mi < len(o.matches) {
@@ -626,6 +664,9 @@ type zoneSweepJoinOp struct {
 }
 
 func (o *zoneSweepJoinOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if !o.started {
 		o.started = true
@@ -736,6 +777,9 @@ type nestedLoopJoinOp struct {
 }
 
 func (o *nestedLoopJoinOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if !o.started {
 		o.started = true
@@ -832,6 +876,9 @@ type hashJoinOp struct {
 }
 
 func (o *hashJoinOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if !o.started {
 		o.started = true
@@ -915,6 +962,9 @@ type filterOp struct {
 }
 
 func (o *filterOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	for {
 		row, err := o.src.next()
@@ -968,6 +1018,9 @@ func (o *projectOp) allocRow(w int) []Value {
 }
 
 func (o *projectOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	row, err := o.src.next()
 	if err != nil || row == nil {
@@ -1035,6 +1088,9 @@ type aggregateOp struct {
 }
 
 func (o *aggregateOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if !o.started {
 		o.started = true
@@ -1198,6 +1254,9 @@ type sortOp struct {
 }
 
 func (o *sortOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if err := o.cc.tick(); err != nil {
 		return nil, err
@@ -1262,6 +1321,9 @@ type distinctOp struct {
 }
 
 func (o *distinctOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if o.seen == nil {
 		o.seen = make(map[string]bool)
@@ -1299,6 +1361,9 @@ type limitOp struct {
 }
 
 func (o *limitOp) next() ([]Value, error) {
+	if o.st.timed {
+		defer o.st.timeFrom(time.Now())
+	}
 	o.st.ran = true
 	if o.n <= 0 {
 		return nil, nil
@@ -1436,6 +1501,7 @@ func pureColumnIndexes(items []projItem, order []OrderItem) []int {
 // lowerSource turns the bound FROM tree into physical operators, applying
 // the access-path and join rules.
 func (db *DB) lowerSource(n logNode, params []Value, knobs PlannerKnobs, cc *cancelCheck) (physOp, error) {
+	met := db.metrics()
 	switch x := n.(type) {
 	case *logValues:
 		return &valuesOp{st: opStats{est: 1}, rows: [][]Value{{}}}, nil
@@ -1448,17 +1514,21 @@ func (db *DB) lowerSource(n logNode, params []Value, knobs PlannerKnobs, cc *can
 			if ct := x.tv.Columnar(); projectionCovers(x.tv.Table(), ct) {
 				op := newColumnarScan(x.tv, ct, x.alias, x.lo, x.hi, x.needed)
 				op.cc = cc
+				met.rule("ColumnarScan")
 				return op, nil
 			}
 		}
 		if x.lo.IsNull() && x.hi.IsNull() {
+			met.rule("SeqScan")
 			return &seqScanOp{st: opStats{est: x.tv.NumRows()}, tv: x.tv, alias: x.alias, cc: cc}, nil
 		}
 		// No histograms: the bounded row count is unknown, and printing the
 		// full table count against a range scan would misread in EXPLAIN.
+		met.rule("RangeScan")
 		return &rangeScanOp{st: opStats{est: -1}, tv: x.tv, alias: x.alias, lo: x.lo, hi: x.hi, cc: cc}, nil
 	case *logTVF:
 		// Non-lateral: constant arguments, evaluated once at first next.
+		met.rule("TVFScan")
 		return &tvfScanOp{st: opStats{est: -1}, db: db, tvf: x.tvf, name: x.name, alias: x.alias, args: x.args, params: params}, nil
 	case *logJoin:
 		return db.lowerJoin(x, params, knobs, cc)
@@ -1479,12 +1549,14 @@ func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs, cc *canc
 		args := bindExprs(tvf.args, leftSch)
 		on := bindExpr(j.on, combined)
 		if tvf.tvf.Batch != nil && !knobs.NoZoneSweepJoin {
+			db.metrics().rule("ZoneSweepJoin")
 			return &zoneSweepJoinOp{
 				st: opStats{est: -1}, left: left, access: sweepAccessPath(tvf.tvf.Source),
 				tvf: tvf.tvf, name: tvf.name, alias: tvf.alias, args: args, on: on,
 				cc: cc, evLeft: evLeft, evBoth: evBoth,
 			}, nil
 		}
+		db.metrics().rule("TVFApply")
 		return &tvfApplyOp{
 			st: opStats{est: -1}, left: left, db: db,
 			tvf: tvf.tvf, name: tvf.name, alias: tvf.alias, args: args, on: on,
@@ -1499,6 +1571,7 @@ func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs, cc *canc
 	rightSch := j.right.schema()
 	switch j.kind {
 	case joinCross, joinLeft:
+		db.metrics().rule("NestedLoopJoin")
 		return &nestedLoopJoinOp{
 			st: opStats{est: -1}, left: left, right: right, kind: j.kind,
 			on: bindExpr(j.on, combined),
@@ -1507,6 +1580,7 @@ func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs, cc *canc
 	default: // inner
 		leftKeys, rightKeys, residual := splitEquiJoin(j.on, leftSch, rightSch)
 		if len(leftKeys) > 0 {
+			db.metrics().rule("HashJoin")
 			return &hashJoinOp{
 				st: opStats{est: -1}, left: left, right: right,
 				leftKeys: bindExprs(leftKeys, leftSch), rightKeys: bindExprs(rightKeys, rightSch),
@@ -1516,6 +1590,7 @@ func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs, cc *canc
 				evBoth:  &env{schema: combined, params: params, db: db},
 			}, nil
 		}
+		db.metrics().rule("NestedLoopJoin")
 		return &nestedLoopJoinOp{
 			st: opStats{est: -1}, left: left, right: right, kind: joinInner,
 			on: bindExpr(j.on, combined),
@@ -1551,11 +1626,17 @@ func renderPlan(op physOp, analyzed bool) []string {
 
 func planAnnotation(op physOp, analyzed bool) string {
 	st := op.stats()
+	// Wall time renders outside the row-count bracket so the bracket
+	// stays stable for tools (and tests) matching on it.
+	timing := ""
+	if analyzed && st.ran && st.timed {
+		timing = fmt.Sprintf(" (%.3f ms)", float64(st.nanos)/1e6)
+	}
 	switch {
 	case analyzed && st.ran && st.est >= 0:
-		return fmt.Sprintf("  [est %d, actual %d rows]", st.est, st.actual)
+		return fmt.Sprintf("  [est %d, actual %d rows]%s", st.est, st.actual, timing)
 	case analyzed && st.ran:
-		return fmt.Sprintf("  [actual %d rows]", st.actual)
+		return fmt.Sprintf("  [actual %d rows]%s", st.actual, timing)
 	case st.est >= 0:
 		return fmt.Sprintf("  [est %d rows]", st.est)
 	}

@@ -1,0 +1,124 @@
+package storage
+
+import (
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Evictions returns the total number of valid pages evicted from frames
+// since the pool was created (not rebased by ResetStats).
+func (p *Pool) Evictions() int64 {
+	var n int64
+	for _, sh := range p.shards {
+		n += sh.evictions.Load()
+	}
+	return n
+}
+
+// Faults returns the number of operations aborted by injected faults.
+func (p *Pool) Faults() int64 { return p.faults.Load() }
+
+// PinnedFrames counts frames with a live pin, one shard lock at a time.
+// It is a scrape-time readout, not a hot-path quantity.
+func (p *Pool) PinnedFrames() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for i := range sh.frames {
+			if sh.frames[i].pins > 0 {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Frames returns the pool's total frame count.
+func (p *Pool) Frames() int {
+	n := 0
+	for _, sh := range p.shards {
+		n += len(sh.frames)
+	}
+	return n
+}
+
+// MetricsInto registers the pool's counters with r, labeling every family
+// with the given pool name. Everything is a scrape-time func over the
+// shard atomics the pool already maintains, so registration adds no work
+// to Get/New/Release. Hits are logical reads served from a frame
+// (logical - physical); misses are reads that went to the store. The
+// counters are live (not rebased by ResetStats), as a monitoring time
+// series wants. Safe to call more than once; later calls rebind the
+// closures.
+func (p *Pool) MetricsInto(r *telemetry.Registry, pool string) {
+	reads := r.NewCounterFuncVec("pool_logical_reads_total",
+		"page fetches (the paper's logical reads)", "pool")
+	reads.Attach(func() float64 { return float64(p.rawStats().LogicalReads) }, pool)
+	misses := r.NewCounterFuncVec("pool_physical_reads_total",
+		"page fetches that missed the pool and hit the store", "pool")
+	misses.Attach(func() float64 { return float64(p.rawStats().PhysicalReads) }, pool)
+	writes := r.NewCounterFuncVec("pool_physical_writes_total",
+		"dirty pages written back to the store", "pool")
+	writes.Attach(func() float64 { return float64(p.rawStats().PhysicalWrites) }, pool)
+	hits := r.NewCounterFuncVec("pool_hits_total",
+		"page fetches served from a resident frame", "pool")
+	hits.Attach(func() float64 {
+		s := p.rawStats()
+		return float64(s.LogicalReads - s.PhysicalReads)
+	}, pool)
+	evs := r.NewCounterFuncVec("pool_evictions_total",
+		"valid pages evicted from frames", "pool")
+	evs.Attach(func() float64 { return float64(p.Evictions()) }, pool)
+	faults := r.NewCounterFuncVec("pool_faults_total",
+		"operations aborted by injected storage faults", "pool")
+	faults.Attach(func() float64 { return float64(p.Faults()) }, pool)
+
+	frames := r.NewGaugeFuncVec("pool_frames", "frames in the pool", "pool")
+	frames.Attach(func() float64 { return float64(p.Frames()) }, pool)
+	pinned := r.NewGaugeFuncVec("pool_pinned_frames",
+		"frames with a live pin (scanned at scrape time)", "pool")
+	pinned.Attach(func() float64 { return float64(p.PinnedFrames()) }, pool)
+
+	shardHits := r.NewCounterFuncVec("pool_shard_hits_total",
+		"per-shard page fetches served from a resident frame", "pool", "shard")
+	shardMisses := r.NewCounterFuncVec("pool_shard_misses_total",
+		"per-shard page fetches that hit the store", "pool", "shard")
+	shardEvs := r.NewCounterFuncVec("pool_shard_evictions_total",
+		"per-shard valid-page evictions", "pool", "shard")
+	for _, sh := range p.shards {
+		sh := sh
+		ord := strconv.Itoa(sh.ord)
+		shardHits.Attach(func() float64 {
+			return float64(sh.logicalReads.Load() - sh.physicalReads.Load())
+		}, pool, ord)
+		shardMisses.Attach(func() float64 {
+			return float64(sh.physicalReads.Load())
+		}, pool, ord)
+		shardEvs.Attach(func() float64 {
+			return float64(sh.evictions.Load())
+		}, pool, ord)
+	}
+}
+
+// MetricsInto registers the reclaimer's lifecycle counters with r under
+// the given pool name; all are scrape-time funcs over the counters the
+// reclaimer already keeps.
+func (r *Reclaimer) MetricsInto(reg *telemetry.Registry, pool string) {
+	retired := reg.NewCounterFuncVec("reclaim_retired_pages_total",
+		"pages handed to the reclaimer by version writers", "pool")
+	retired.Attach(func() float64 { return float64(r.retiredPages.Load()) }, pool)
+	freed := reg.NewCounterFuncVec("reclaim_freed_pages_total",
+		"retired pages returned to the store's free list", "pool")
+	freed.Attach(func() float64 { return float64(r.freedPages.Load()) }, pool)
+	leaked := reg.NewCounterFuncVec("reclaim_leaked_pages_total",
+		"retired pages skipped because their frame was still pinned", "pool")
+	leaked.Attach(func() float64 { return float64(r.leakedPages.Load()) }, pool)
+	tickets := reg.NewGaugeFuncVec("reclaim_live_tickets",
+		"reader guards currently holding an epoch ticket", "pool")
+	tickets.Attach(func() float64 { return float64(r.Stats().LiveTickets) }, pool)
+	pending := reg.NewGaugeFuncVec("reclaim_pending_pages",
+		"retired pages waiting for the last overlapping reader", "pool")
+	pending.Attach(func() float64 { return float64(r.Pending()) }, pool)
+}

@@ -61,6 +61,7 @@ type FaultHooks struct {
 // (Stats) sum them without taking the lock.
 type shard struct {
 	mu     sync.Mutex
+	ord    int // position in Pool.shards, for diagnostics and metrics
 	frames []frame
 	index  map[PageID]int
 	hand   int
@@ -68,6 +69,7 @@ type shard struct {
 	logicalReads   atomic.Int64
 	physicalReads  atomic.Int64
 	physicalWrites atomic.Int64
+	evictions      atomic.Int64
 }
 
 // PoolOptions configures NewPool.
@@ -95,6 +97,7 @@ type Pool struct {
 	shards []*shard
 	shift  uint // 64 - log2(len(shards)); PageID hash >> shift picks the shard
 	hooks  atomic.Pointer[FaultHooks]
+	faults atomic.Int64 // operations aborted by an injected fault
 
 	// base is the counter snapshot taken by the last ResetStats; Stats
 	// reports live counters minus base, so resetting never writes the
@@ -134,7 +137,7 @@ func NewPool(store Store, opts PoolOptions) *Pool {
 		if i < frames%n {
 			fc++
 		}
-		sh := &shard{frames: make([]frame, fc), index: make(map[PageID]int, fc)}
+		sh := &shard{ord: i, frames: make([]frame, fc), index: make(map[PageID]int, fc)}
 		for j := range sh.frames {
 			sh.frames[j].buf = make([]byte, PageSize)
 		}
@@ -224,6 +227,7 @@ func (p *Pool) SetFaultHooks(h *FaultHooks) { p.hooks.Store(h) }
 func (p *Pool) Get(id PageID) (*Handle, error) {
 	if h := p.hooks.Load(); h != nil && h.Fetch != nil {
 		if err := h.Fetch(); err != nil {
+			p.faults.Add(1)
 			return nil, fmt.Errorf("storage: page %d fetch: %w", id, err)
 		}
 	}
@@ -258,6 +262,7 @@ func (p *Pool) Get(id PageID) (*Handle, error) {
 func (p *Pool) New() (*Handle, error) {
 	if h := p.hooks.Load(); h != nil && h.Alloc != nil {
 		if err := h.Alloc(); err != nil {
+			p.faults.Add(1)
 			return nil, fmt.Errorf("storage: page alloc: %w", err)
 		}
 	}
@@ -307,6 +312,7 @@ func (sh *shard) evictLocked(store Store) (int, error) {
 					return 0, err
 				}
 			}
+			sh.evictions.Add(1)
 			delete(sh.index, f.id)
 			f.id = InvalidPageID
 		}
@@ -321,7 +327,7 @@ func (sh *shard) evictLocked(store Store) (int, error) {
 // evicted under them.
 func (h *Handle) Release(dirty bool) {
 	if h.released {
-		panic(fmt.Sprintf("storage: double release of handle for page %d", h.ID))
+		panic(fmt.Sprintf("storage: double release of handle for page %d (shard %d)", h.ID, h.sh.ord))
 	}
 	h.released = true
 	sh := h.sh
@@ -372,13 +378,21 @@ func (p *Pool) Allocate() (PageID, error) { return p.store.Allocate() }
 // no I/O: it performs no reads and suppresses the writeback an eviction
 // would have done.
 func (p *Pool) Dealloc(id PageID) error {
+	_, err := p.dealloc(id)
+	return err
+}
+
+// dealloc is Dealloc plus a freed/leaked verdict: false means the page
+// was pinned and skipped. The reclaimer uses the verdict to account for
+// leaked pages without changing Dealloc's public contract.
+func (p *Pool) dealloc(id PageID) (freed bool, err error) {
 	sh := p.shardFor(id)
 	sh.mu.Lock()
 	if idx, ok := sh.index[id]; ok {
 		f := &sh.frames[idx]
 		if f.pins > 0 {
 			sh.mu.Unlock()
-			return nil
+			return false, nil
 		}
 		delete(sh.index, id)
 		f.id = InvalidPageID
@@ -386,5 +400,5 @@ func (p *Pool) Dealloc(id PageID) error {
 		f.used = false
 	}
 	sh.mu.Unlock()
-	return p.store.Free(id)
+	return true, p.store.Free(id)
 }

@@ -1,6 +1,9 @@
 package storage
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Reclaimer defers page deallocation until no reader can still reach the
 // pages. It is the storage half of sqldb's copy-on-write table versions:
@@ -27,6 +30,12 @@ type Reclaimer struct {
 	next    uint64
 	active  map[uint64]struct{}
 	retired []retiredBatch
+
+	// Lifecycle counters (see ReclaimStats). Written with atomics so the
+	// metrics scrape never takes the reclaimer's mutex.
+	retiredPages atomic.Int64
+	freedPages   atomic.Int64
+	leakedPages  atomic.Int64
 }
 
 type retiredBatch struct {
@@ -83,6 +92,7 @@ func (r *Reclaimer) Retire(pages []PageID) {
 	if len(pages) == 0 {
 		return
 	}
+	r.retiredPages.Add(int64(len(pages)))
 	r.mu.Lock()
 	r.retired = append(r.retired, retiredBatch{stamp: r.next, pages: pages})
 	freeable := r.collectLocked()
@@ -127,7 +137,40 @@ func (r *Reclaimer) free(pages []PageID) {
 		// A pinned frame makes Dealloc skip-and-leak; other errors mean
 		// the caller double-retired, which the version inventory rules
 		// out. Either way the reader-side invariant holds.
-		_ = r.pool.Dealloc(id)
+		freed, err := r.pool.dealloc(id)
+		switch {
+		case err != nil:
+			// Counted as neither freed nor leaked: the id never belonged
+			// to a live frame, so there is nothing to account for.
+		case freed:
+			r.freedPages.Add(1)
+		default:
+			r.leakedPages.Add(1)
+		}
+	}
+}
+
+// ReclaimStats is a snapshot of the reclaimer's lifecycle counters.
+// Retired counts pages handed to Retire; Freed the subset returned to the
+// store; Leaked the pages skipped because a frame was still pinned at
+// free time (safe, just unreclaimed). Retired - Freed - Leaked = Pending.
+type ReclaimStats struct {
+	Retired     int64
+	Freed       int64
+	Leaked      int64
+	LiveTickets int
+}
+
+// Stats returns the reclaimer's lifecycle counters and live-guard count.
+func (r *Reclaimer) Stats() ReclaimStats {
+	r.mu.Lock()
+	live := len(r.active)
+	r.mu.Unlock()
+	return ReclaimStats{
+		Retired:     r.retiredPages.Load(),
+		Freed:       r.freedPages.Load(),
+		Leaked:      r.leakedPages.Load(),
+		LiveTickets: live,
 	}
 }
 

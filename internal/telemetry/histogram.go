@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// A Histogram counts observations into fixed buckets and keeps an exact
+// count and sum, which is all the Prometheus exposition needs; Quantile
+// estimates p50/p99-style latencies from the bucket counts by linear
+// interpolation. Observe is wait-free: a bucket add, a count add, and a
+// CAS loop on the float sum.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// inside the bucket holding the target rank; the open-ended top bucket
+// reports its lower bound. Returns 0 with no observations. Concurrent
+// Observes make the snapshot approximate, which is fine for a monitoring
+// readout.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(seen+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // +Inf bucket: no width to interpolate
+				return lo
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(seen)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		seen += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// writeTo renders the cumulative _bucket/_sum/_count triplet.
+func (h *Histogram) writeTo(w io.Writer, name, labels string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(w, name+"_bucket", joinLabels(labels, `le="`+formatFloat(b)+`"`),
+			strconv.FormatInt(cum, 10))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(w, name+"_bucket", joinLabels(labels, `le="+Inf"`),
+		strconv.FormatInt(cum, 10))
+	writeSample(w, name+"_sum", labels, formatFloat(h.Sum()))
+	writeSample(w, name+"_count", labels, strconv.FormatInt(h.count.Load(), 10))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+// ExpBuckets returns n upper bounds growing geometrically from start by
+// factor — the usual latency ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	bs := make([]float64, n)
+	v := start
+	for i := range bs {
+		bs[i] = v
+		v *= factor
+	}
+	return bs
+}
+
+// DurationBuckets is a general-purpose latency ladder in seconds: 100µs
+// doubling up to ~1.6 s, then a few coarse tail buckets.
+var DurationBuckets = append(ExpBuckets(0.0001, 2, 15), 5, 15, 60)
+
+// NewHistogram registers (or returns the existing) unlabeled histogram
+// with the given bucket upper bounds (nil means DurationBuckets).
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	f := r.lookup(name, help, "histogram", nil)
+	return f.getOrAdd("", func() child { return newHistogram(bounds) }).(*Histogram)
+}
+
+// A HistogramVec is a family of histograms split by label values; all
+// children share one bucket layout.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// NewHistogramVec registers (or returns the existing) labeled histogram
+// family (nil bounds means DurationBuckets).
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	return &HistogramVec{f: r.lookup(name, help, "histogram", labelNames), bounds: bounds}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	ls := v.f.labelString(labelValues)
+	return v.f.getOrAdd(ls, func() child { return newHistogram(v.bounds) }).(*Histogram)
+}

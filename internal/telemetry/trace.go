@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Tracer hands out Spans. With no sink attached (the steady state for
+// benchmarks and batch runs) Start returns nil and the caller pays one
+// atomic pointer load; every Span method is nil-safe, so instrumented
+// code never branches on "is tracing on". Attaching a ring sink — casjobsd
+// does this under -debug-addr — turns the same call sites into real
+// span collection.
+type Tracer struct {
+	sink atomic.Pointer[RingSink]
+}
+
+// Attach installs (and returns) a ring sink holding the most recent
+// capacity finished spans. Attaching replaces any previous sink;
+// Attach(0) detaches.
+func (t *Tracer) Attach(capacity int) *RingSink {
+	if capacity <= 0 {
+		t.sink.Store(nil)
+		return nil
+	}
+	s := &RingSink{buf: make([]SpanRecord, 0, capacity), cap: capacity}
+	t.sink.Store(s)
+	return s
+}
+
+// Start opens a span, or returns nil when no sink is attached.
+func (t *Tracer) Start(name, id string) *Span {
+	sink := t.sink.Load()
+	if sink == nil {
+		return nil
+	}
+	return &Span{
+		sink:  sink,
+		rec:   SpanRecord{Name: name, ID: id, Start: time.Now()},
+		attrs: make(map[string]string, 4),
+	}
+}
+
+// A Span is one traced operation: a name, an ID shared with the query
+// log, timestamped events, and string attributes. All methods are safe
+// on a nil receiver.
+type Span struct {
+	mu    sync.Mutex
+	sink  *RingSink
+	rec   SpanRecord
+	attrs map[string]string
+}
+
+// Event appends a named, timestamped marker to the span.
+func (s *Span) Event(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Events = append(s.rec.Events, SpanEvent{Name: name, At: time.Since(s.rec.Start)})
+	s.mu.Unlock()
+}
+
+// SetAttr records a key/value attribute, overwriting any previous value.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs[k] = v
+	s.mu.Unlock()
+}
+
+// End closes the span and pushes it to the sink. Calling End twice
+// records the span twice; don't.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rec.Duration = time.Since(s.rec.Start)
+	s.rec.Attrs = s.attrs
+	rec := s.rec
+	sink := s.sink
+	s.mu.Unlock()
+	sink.push(rec)
+}
+
+// A SpanRecord is a finished span as stored in the sink (and rendered by
+// casjobsd's /debug/traces).
+type SpanRecord struct {
+	Name     string            `json:"name"`
+	ID       string            `json:"id"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Events   []SpanEvent       `json:"events,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// A SpanEvent is a marker inside a span, as an offset from span start.
+type SpanEvent struct {
+	Name string        `json:"name"`
+	At   time.Duration `json:"at_ns"`
+}
+
+// A RingSink keeps the most recent N finished spans.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int
+	cap  int
+}
+
+func (r *RingSink) push(rec SpanRecord) {
+	r.mu.Lock()
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % r.cap
+	}
+	r.mu.Unlock()
+}
+
+// Recent returns the buffered spans, oldest first.
+func (r *RingSink) Recent() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

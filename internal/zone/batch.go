@@ -192,6 +192,21 @@ func (s *SweepStats) WorkerCPU() time.Duration {
 	return time.Duration(s.workerCPU.Load())
 }
 
+// timedSequential drives sweepSequential, crediting the drive's wall time
+// as worker busy time when metrics are attached (a sequential sweep is its
+// own single worker). Both Sweep's workers==1 path and sweepParallel's
+// single-group fallback come through here.
+func timedSequential(ctx context.Context, sw zoneSweeper, ws []batchWindow, centers []astro.Vec3, r2s []float64, fn func(int, ZoneRow)) error {
+	m := sweepMet.Load()
+	if m == nil {
+		return sweepSequential(ctx, sw, ws, centers, r2s, fn)
+	}
+	t0 := time.Now()
+	err := sweepSequential(ctx, sw, ws, centers, r2s, fn)
+	m.addBusy(time.Since(t0))
+	return err
+}
+
 // sweepParallel runs the zone-grouped windows on a worker pool, one
 // sweeper per worker (newSweeper is called on the worker's goroutine):
 // zones are independent by construction (each is a disjoint clustered-key
@@ -210,7 +225,7 @@ func sweepParallel(ctx context.Context, newSweeper func() zoneSweeper, ws []batc
 	starts = append(starts, len(ws))
 	groups := len(starts) - 1
 	if groups <= 1 {
-		return sweepSequential(ctx, newSweeper(), ws, centers, r2s, fn)
+		return timedSequential(ctx, newSweeper(), ws, centers, r2s, fn)
 	}
 	poll := ctx.Done() != nil
 	if workers > groups {
@@ -240,6 +255,13 @@ func sweepParallel(ctx context.Context, newSweeper func() zoneSweeper, ws []batc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if m := sweepMet.Load(); m != nil {
+				// Wall-clock residency of this worker, token waits included:
+				// the ops signal is "how much worker time do sweeps occupy",
+				// which a stalled consumer should show, not hide.
+				t0 := time.Now()
+				defer func() { m.addBusy(time.Since(t0)) }()
+			}
 			if stats != nil {
 				// Pin to an OS thread so the thread clock measures exactly
 				// this worker; the pin dies with the goroutine.

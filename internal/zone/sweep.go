@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"time"
 
 	"repro/internal/colstore"
 	"repro/internal/sqldb"
@@ -49,10 +50,45 @@ func Sweep(ctx context.Context, src Source, probes []Probe, opts SweepOptions, f
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ws, centers, r2s := buildWindows(src.height(), probes)
-	if workers == 1 {
-		return sweepSequential(ctx, newSweeper(), ws, centers, r2s, fn)
+
+	// Metrics, when attached, count at the sweep boundary only: hits tally
+	// in a local (fn always runs on this goroutine) and flush as one Add
+	// below. Detached, emit == fn and the sweep allocates nothing extra —
+	// the counting closure and the cell it captures are both created
+	// inside the branch, so escape analysis keeps the detached path clean.
+	m := sweepMet.Load()
+	emit := fn
+	var hits *int64
+	var t0 time.Time
+	if m != nil {
+		h := new(int64)
+		hits = h
+		emit = func(probe int, zr ZoneRow) {
+			*h++
+			fn(probe, zr)
+		}
+		t0 = time.Now()
 	}
-	return sweepParallel(ctx, newSweeper, ws, centers, r2s, workers, opts.Stats, fn)
+	if workers == 1 {
+		err = timedSequential(ctx, newSweeper(), ws, centers, r2s, emit)
+	} else {
+		err = sweepParallel(ctx, newSweeper, ws, centers, r2s, workers, opts.Stats, emit)
+	}
+	if m != nil {
+		m.sweeps.Inc()
+		m.probes.Add(int64(len(probes)))
+		m.hits.Add(*hits)
+		groups := int64(0)
+		for i := 0; i < len(ws); i = zoneEnd(ws, i) {
+			groups++
+		}
+		m.groups.Add(groups)
+		m.duration.Observe(time.Since(t0).Seconds())
+		if err != nil {
+			m.errors.Inc()
+		}
+	}
+	return err
 }
 
 // SweepOptions carries Sweep's knobs; the zero value is a good default.
