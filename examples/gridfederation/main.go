@@ -1,99 +1,167 @@
-// Gridfederation: the paper's §4 "gridified" MaxBCG — three autonomous
-// organizations (JHU, Fermilab, IUCAA) each host part of the survey; the
-// application code is deployed to every site holding relevant data, sites
-// exchange only thin boundary strips, and the merged catalog comes back to
-// the origin. The byte accounting quantifies "move the code to the data".
-// A Chimera-style virtual data catalog records the provenance of the
-// final catalog.
+// Gridfederation: the paper's §4 "gridified" MaxBCG over a real wire —
+// three autonomous organizations (JHU, Fermilab, IUCAA) each run a
+// cmd/gridworkerd process owning one declination stripe of the survey,
+// sized to its hardware by the perfmodel placement planner. The
+// coordinator scatters probe batches over HTTP, the workers exchange
+// only thin boundary strips at boot, and the merged catalog comes back
+// to the origin — asserted bit-identical to a centralised run. The byte
+// accounting is no longer a model: it is the exact count of bytes that
+// crossed the sockets. A Chimera-style virtual data catalog records the
+// provenance of the final catalog.
+//
+// By default the example builds gridworkerd and spawns the fleet on
+// loopback ports; every worker regenerates the same seeded catalog
+// in-process, so no data file ships anywhere. Pass -attach with worker
+// URLs (plus the fleet's -region and -cuts) to drive an already-running
+// fleet instead — docker-compose.yml in this directory boots one.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
 
 	"repro"
+	"repro/internal/astro"
+	"repro/internal/cluster"
 	"repro/internal/condor"
-	"repro/internal/grid"
+	"repro/internal/fed"
+	"repro/internal/maxbcg"
+	"repro/internal/perfmodel"
+	"repro/internal/sky"
+	"repro/internal/tam"
+)
+
+const (
+	seed      = 5
+	surveyStr = "193.9:196.4:1.2:3.9"
 )
 
 func main() {
-	cat, err := gridbcg.GenerateSky(gridbcg.SkyConfig{
-		Region: gridbcg.MustBox(193.9, 196.4, 1.2, 3.9),
-		Seed:   5,
-	})
+	attach := flag.String("attach", "", "comma-separated worker URLs of a running fleet (default: spawn one)")
+	regionStr := flag.String("region", "", "with -attach: the fleet's -region value")
+	cutsStr := flag.String("cuts", "", "with -attach: the fleet's -cuts value")
+	flag.Parse()
+
+	survey := mustParseBox(surveyStr)
+	cat, err := gridbcg.GenerateSky(gridbcg.SkyConfig{Region: survey, Seed: seed})
 	if err != nil {
 		log.Fatal(err)
+	}
+	target := astro.MustBox(194.9, 195.4, 1.4, 3.7)
+	params := maxbcg.DefaultParams()
+
+	var topo fed.Topology
+	var stop func()
+	if *attach != "" {
+		urls := strings.Split(*attach, ",")
+		topo, err = fed.ParseCuts(mustParseBox(*regionStr), *cutsStr)
+		if err != nil {
+			log.Fatalf("-attach needs the fleet's -region and -cuts: %v", err)
+		}
+		if len(urls) != len(topo.Stripes) {
+			log.Fatalf("%d -attach URLs for %d stripes", len(urls), len(topo.Stripes))
+		}
+		for i, u := range urls {
+			topo.Stripes[i].Endpoints = []string{strings.TrimSuffix(strings.TrimSpace(u), "/")}
+		}
+		stop = func() {}
+	} else {
+		topo, stop, err = spawnFleet(cat, target, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer stop()
+
+	c, err := fed.NewCoordinator(topo, fed.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fmt.Println("waiting for the fleet's boundary-zone exchange...")
+	if err := c.WaitReady(ctx); err != nil {
+		log.Fatal(err)
+	}
+	ws, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range ws {
+		fmt.Printf("site %-9s owns zones %d..%d: %6d rows (boundary exchange: %d B in, %d B out)\n",
+			w.Name, w.MinZone, w.MaxZone, w.ZoneRows, w.ExchangeBytesIn, w.ExchangeBytesOut)
 	}
 
-	// Three declination-disjoint sites.
-	jhu, err := grid.NewSite("JHU", cat, gridbcg.MustBox(193.9, 196.4, 1.2, 2.1))
+	merged, _, err := fed.RunMaxBCG(ctx, c, cat, target, fed.RunConfig{Params: params, IncludeMembers: true})
 	if err != nil {
 		log.Fatal(err)
-	}
-	fnal, err := grid.NewSite("Fermilab", cat, gridbcg.MustBox(193.9, 196.4, 2.1, 3.0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	iucaa, err := grid.NewSite("IUCAA", cat, gridbcg.MustBox(193.9, 196.4, 3.0, 3.9))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fed, err := grid.NewFederation(jhu, fnal, iucaa)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, s := range fed.Sites() {
-		fmt.Printf("site %-9s hosts %6d galaxies (dec %+5.2f..%+5.2f)\n",
-			s.Name, s.Holdings(), s.Region.MinDec, s.Region.MaxDec)
-	}
-
-	// Deploy the application to the data and run over a survey-scale
-	// target spanning all three sites (the one-off boundary exchange
-	// amortises over the analysis area; tiny targets would not pay).
-	target := gridbcg.MustBox(194.9, 195.4, 1.4, 3.7)
-	app := grid.DefaultApp(cat.Kcorr)
-	merged, runs, stats, err := fed.RunMaxBCG(target, app)
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, r := range runs {
-		fmt.Printf("  %-9s processed %6d rows in %7.2fs -> target dec %+5.2f..%+5.2f\n",
-			r.Site, r.Rows, r.Elapsed.Seconds(), r.Target.MinDec, r.Target.MaxDec)
 	}
 	fmt.Printf("merged catalog: %s\n", merged.Summary())
-	fmt.Printf("bytes moved, first run:   %9d  (code %d + one-off boundary strips %d + results %d)\n",
-		stats.Moved(), stats.CodeBytes, stats.BoundaryBytes, stats.ResultBytes)
-	fmt.Printf("bytes moved, steady state:%9d  per analysis (boundary strips are static, kept like\n",
-		stats.SteadyStateMoved())
-	fmt.Println("                                     the paper's duplicated partition buffers)")
-	fmt.Printf("file-shipping baseline:   %9d  per analysis (Target+Buffer files per 0.25 deg² field)\n",
+
+	// The acceptance bar: the federated answer must be bit-identical to
+	// a centralised single-node run over the same catalog.
+	central, err := cluster.Run(cat, target, cluster.Config{Nodes: 1, Params: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := central.Nodes[0].Result
+	if !reflect.DeepEqual(merged.Clusters, want.Clusters) ||
+		!reflect.DeepEqual(merged.Candidates, want.Candidates) {
+		log.Fatalf("FEDERATED RESULT DIVERGED from centralised run: %s vs %s",
+			merged.Summary(), want.Summary())
+	}
+	fmt.Println("=> federated result is bit-identical to the centralised run")
+
+	// Byte accounting: exact wire counts from the workers' socket
+	// counters — no longer the in-process model's estimates. The probe
+	// and hit streams are the price of federating at sweep granularity
+	// (every neighbourhood crosses the wire as JSON); the paper's
+	// code-to-data claim shows up in the boundary exchange, which is a
+	// tiny one-off against the per-field file-shipping baseline.
+	stats, err := c.TransferStats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fld := range target.Fields(0.5) {
+		stats.DataShippingBytes += int64(len(cat.Select(fld))+
+			len(cat.Select(fld.Expand(params.BufferDeg)))) * tam.BytesPerGalaxy
+	}
+	fmt.Printf("measured wire traffic:    %9d B  (probes out %d + hit streams back %d)\n",
+		stats.SteadyStateMoved(), stats.CodeBytes, stats.ResultBytes)
+	fmt.Printf("one-off boundary strips:  %9d B  at fleet boot (static, kept like the paper's\n",
+		stats.BoundaryBytes)
+	fmt.Println("                                       duplicated partition buffers)")
+	fmt.Printf("file-shipping baseline:   %9d B  per analysis (Target+Buffer files per 0.25 deg² field)\n",
 		stats.DataShippingBytes)
-	fmt.Printf("=> code-to-data moves %.0fx fewer bytes per analysis at steady state\n",
-		float64(stats.DataShippingBytes)/float64(stats.SteadyStateMoved()))
+	fmt.Printf("=> partitioned data stays put: the boundary exchange moves %.0fx fewer bytes\n",
+		float64(stats.DataShippingBytes)/float64(stats.BoundaryBytes))
+	fmt.Println("   than a single analysis of per-field file shipping")
 
 	// Record provenance in a Chimera-style virtual data catalog.
 	vdc := condor.NewVDC()
 	noop := func(map[string]string, []string, string) error { return nil }
-	if err := vdc.AddTransformation(condor.Transformation{Name: "deployMaxBCG", Exec: noop}); err != nil {
+	if err := vdc.AddTransformation(condor.Transformation{Name: "federatedMaxBCG", Exec: noop}); err != nil {
 		log.Fatal(err)
 	}
-	if err := vdc.AddTransformation(condor.Transformation{Name: "mergeCatalogs", Exec: noop}); err != nil {
-		log.Fatal(err)
-	}
-	var siteOutputs []string
-	for _, r := range runs {
-		vdc.AddExisting("cas://" + r.Site + "/galaxy")
-		out := "clusters://" + r.Site
-		if err := vdc.AddDerivation(condor.Derivation{
-			Output: out, Transformation: "deployMaxBCG",
-			Inputs: []string{"cas://" + r.Site + "/galaxy"},
-		}); err != nil {
-			log.Fatal(err)
-		}
-		siteOutputs = append(siteOutputs, out)
+	var inputs []string
+	for _, s := range topo.Stripes {
+		in := "cas://" + s.Name + "/zone"
+		vdc.AddExisting(in)
+		inputs = append(inputs, in)
 	}
 	if err := vdc.AddDerivation(condor.Derivation{
-		Output: "clusters://merged", Transformation: "mergeCatalogs", Inputs: siteOutputs,
+		Output: "clusters://merged", Transformation: "federatedMaxBCG", Inputs: inputs,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -105,4 +173,118 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("provenance: %d invocations recorded for clusters://merged\n", len(chain))
+}
+
+// spawnFleet builds gridworkerd and boots one process per site on
+// loopback ports. Stripe widths come from the perfmodel placement
+// planner: Fermilab's profile (the paper's faster SQL box) earns the
+// wider stripe.
+func spawnFleet(cat *sky.Catalog, target astro.Box, params maxbcg.Params) (fed.Topology, func(), error) {
+	imp, err := fed.ImportBox(target, params.BufferDeg, cat.Region)
+	if err != nil {
+		return fed.Topology{}, nil, err
+	}
+	big := perfmodel.SQLConfig()
+	big.CPUs *= 2
+	sites := []fed.Placement{
+		{Name: "JHU"},
+		{Name: "Fermilab", System: big},
+		{Name: "IUCAA"},
+	}
+	planned, err := fed.PlanStripes(cat, imp, sites)
+	if err != nil {
+		return fed.Topology{}, nil, err
+	}
+
+	tmp, err := os.MkdirTemp("", "gridfederation")
+	if err != nil {
+		return fed.Topology{}, nil, err
+	}
+	bin := filepath.Join(tmp, "gridworkerd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/gridworkerd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fed.Topology{}, nil, fmt.Errorf("build gridworkerd: %w", err)
+	}
+
+	regionArg := boxArg(imp)
+	cutsArg := fed.FormatCuts(planned)
+	// Workers re-parse the same strings, so both sides of the wire agree
+	// on zone ownership bit for bit.
+	topo, err := fed.ParseCuts(imp, cutsArg)
+	if err != nil {
+		return fed.Topology{}, nil, err
+	}
+	for i, s := range sites {
+		topo.Stripes[i].Name = s.Name
+	}
+
+	n := len(topo.Stripes)
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fed.Topology{}, nil, err
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	peers := make([]string, n)
+	for i, a := range addrs {
+		peers[i] = "http://" + a
+		topo.Stripes[i].Endpoints = []string{peers[i]}
+	}
+
+	procs := make([]*exec.Cmd, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(bin,
+			"-index", strconv.Itoa(i),
+			"-addr", addrs[i],
+			"-region", regionArg,
+			"-cuts", cutsArg,
+			"-peers", strings.Join(peers, ","),
+			"-names", "JHU,Fermilab,IUCAA",
+			"-gen-seed", strconv.Itoa(seed),
+			"-gen-region", surveyStr,
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fed.Topology{}, nil, fmt.Errorf("start %s: %w", topo.Stripes[i].Name, err)
+		}
+		fmt.Printf("spawned %-9s pid %d on %s (dec %+5.2f..%+5.2f)\n",
+			topo.Stripes[i].Name, cmd.Process.Pid, addrs[i],
+			topo.Stripes[i].MinDec, topo.Stripes[i].MaxDec)
+		procs[i] = cmd
+	}
+	stop := func() {
+		for _, p := range procs {
+			_ = p.Process.Signal(syscall.SIGTERM)
+		}
+		for _, p := range procs {
+			_ = p.Wait()
+		}
+		_ = os.RemoveAll(tmp)
+	}
+	return topo, stop, nil
+}
+
+func boxArg(b astro.Box) string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return fmt.Sprintf("%s:%s:%s:%s", g(b.MinRa), g(b.MaxRa), g(b.MinDec), g(b.MaxDec))
+}
+
+func mustParseBox(s string) astro.Box {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		log.Fatalf("bad region %q: want minRa:maxRa:minDec:maxDec", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			log.Fatalf("bad region coordinate %q: %v", p, err)
+		}
+		v[i] = f
+	}
+	return astro.MustBox(v[0], v[1], v[2], v[3])
 }

@@ -1,0 +1,104 @@
+package fed_test
+
+// Boundary property test (the hard case for any partitioned cluster
+// finder): a cluster whose BCG sits within the buffer width of a stripe
+// cut must be found by exactly one stripe — never zero, never two —
+// whatever the stripe layout. The test deliberately generates layouts
+// whose cuts land right on top of cluster BCG declinations, in a region
+// hugging RA 0 so probe windows wrap the 0/360 seam.
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/astro"
+	"repro/internal/cluster"
+	"repro/internal/fed"
+	"repro/internal/maxbcg"
+)
+
+func TestBoundaryClustersFoundExactlyOnce(t *testing.T) {
+	survey := astro.MustBox(0, 2.5, 1.0, 3.4)
+	cat := genCatalog(t, survey, 71, 2000, 5)
+	target := astro.MustBox(0.2, 2.3, 1.4, 3.0)
+	params := maxbcg.DefaultParams()
+
+	central, err := cluster.Run(cat, target, cluster.Config{Nodes: 1, Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := central.Nodes[0].Result
+	if len(want.Clusters) < 2 {
+		t.Fatalf("centralised run found only %d clusters; property test needs boundary material", len(want.Clusters))
+	}
+
+	imp, err := fed.ImportBox(target, params.BufferDeg, cat.Region)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for layout := 0; layout < 4; layout++ {
+		rng := rand.New(rand.NewSource(int64(500 + layout)))
+		topo := boundaryHuggingTopo(rng, imp, want.Clusters, params.BufferDeg)
+		c, _ := startFederation(t, cat, topo, fed.Options{})
+		got, _, err := fed.RunMaxBCG(context.Background(), c, cat, target, fed.RunConfig{Params: params})
+		if err != nil {
+			t.Fatalf("layout %d: %v", layout, err)
+		}
+		if !reflect.DeepEqual(got.Clusters, want.Clusters) {
+			t.Errorf("layout %d (%v): cluster table differs from centralised (%d vs %d rows)",
+				layout, cutDecs(topo), len(got.Clusters), len(want.Clusters))
+			continue
+		}
+		if !reflect.DeepEqual(got.Candidates, want.Candidates) {
+			t.Errorf("layout %d (%v): candidate table differs from centralised", layout, cutDecs(topo))
+		}
+		// Exactly-once by construction of the comparison above, but make
+		// the property explicit: no cluster ObjID appears twice.
+		seen := make(map[int64]int)
+		for _, cl := range got.Clusters {
+			seen[cl.ObjID]++
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Errorf("layout %d: cluster %d reported %d times", layout, id, n)
+			}
+		}
+	}
+}
+
+// boundaryHuggingTopo builds a 3-stripe layout whose two interior cuts
+// land within the buffer width of randomly chosen cluster BCG
+// declinations — the worst case for boundary handling.
+func boundaryHuggingTopo(rng *rand.Rand, region astro.Box, clusters []maxbcg.Candidate, bufferDeg float64) fed.Topology {
+	// Margin keeps every stripe non-empty even after the jitter.
+	lo, hi := region.MinDec+0.05, region.MaxDec-0.05
+	pick := func() float64 {
+		cl := clusters[rng.Intn(len(clusters))]
+		cut := cl.Dec + (rng.Float64()*2-1)*bufferDeg
+		return min(max(cut, lo), hi)
+	}
+	a, b := pick(), pick()
+	if a > b {
+		a, b = b, a
+	}
+	if b-a < 0.05 { // keep the middle stripe real
+		b = min(a+0.05, hi)
+		a = b - 0.05
+	}
+	return fed.Topology{Region: region, Stripes: []fed.Stripe{
+		{Name: "south", MinDec: region.MinDec, MaxDec: a},
+		{Name: "mid", MinDec: a, MaxDec: b},
+		{Name: "north", MinDec: b, MaxDec: region.MaxDec},
+	}}
+}
+
+func cutDecs(t fed.Topology) []float64 {
+	var cuts []float64
+	for _, s := range t.Stripes[:len(t.Stripes)-1] {
+		cuts = append(cuts, s.MaxDec)
+	}
+	return cuts
+}

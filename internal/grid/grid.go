@@ -56,7 +56,11 @@ func (s *Site) selectStrip(box astro.Box) ([]sky.Galaxy, int64) {
 }
 
 // TransferStats records what actually moved over the simulated WAN, and
-// what the data-to-code alternative would have moved.
+// what the data-to-code alternative would have moved. Federation.RunMaxBCG
+// fills it from the paper's byte model; fed.Coordinator.TransferStats
+// fills the same struct from measured socket counters — the exact bytes
+// that crossed cmd/gridworkerd's wire, exported as the workers'
+// fed_transfer_bytes_total metric families.
 type TransferStats struct {
 	// CodeBytes is the deployed application (the paper: "the SQL code
 	// (about 500 lines) is deployed on the ... nodes").

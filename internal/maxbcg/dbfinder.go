@@ -58,6 +58,16 @@ const (
 	StoreRow
 )
 
+// A RemoteSweeper answers a probe batch under zone.Sweep's exact
+// contract (hits per probe in (zone asc, ra asc) order, fn never
+// concurrent, clean prefix by zone on error) from somewhere other than
+// a local zone table — fed.Coordinator scatters it across stripe
+// workers. It is the single seam the federation needs in the pipeline:
+// every batched search already funnels through one sweep call.
+type RemoteSweeper interface {
+	Sweep(ctx context.Context, probes []zone.Probe, fn func(int, zone.ZoneRow)) error
+}
+
 // DBFinder is the paper's SQL Server implementation: the catalog lives in
 // sqldb tables, spZone builds the zone-clustered index, and the sp* tasks
 // run against buffer-pool-backed storage so the harness can report the
@@ -75,6 +85,14 @@ type DBFinder struct {
 	// sequential sweep (the ablation baseline). Output is bit-identical
 	// at every setting; only SearchBatch mode is affected.
 	Workers int
+	// Remote, when set, answers the batched zone sweeps instead of a
+	// local zone table: SpZone becomes a no-op (the zone table lives
+	// sharded across stripe workers — see internal/fed) and every
+	// probe batch goes through Remote.Sweep. The sweeps' contract is
+	// unchanged — same hits, same order — so the pipeline's output is
+	// bit-identical to the local run. Requires SearchBatch mode: the
+	// per-probe SearchProbe path needs a local zone table.
+	Remote RemoteSweeper
 
 	// sweepStats accumulates the CPU time of the parallel sweeps' worker
 	// threads; Run folds the per-task delta into the cpu(s) column.
@@ -253,6 +271,12 @@ func (f *DBFinder) readGalaxies() ([]sky.Galaxy, error) {
 // Under StoreColumnar (and bulk ingest) the same sorted run also
 // materialises the column-major projection the batched sweeps read.
 func (f *DBFinder) SpZone() error {
+	if f.Remote != nil {
+		// Federated runs own no zone table: the stripes built theirs at
+		// boot (raw slice + buffer-zone exchange), which *is* spZone,
+		// executed data-proximate. Nothing to do coordinator-side.
+		return nil
+	}
 	gals, err := f.readGalaxies()
 	if err != nil {
 		return err
@@ -282,6 +306,9 @@ func (f *DBFinder) SpZone() error {
 // row B+tree otherwise. Both paths emit bit-identical call sequences;
 // worker CPU accumulates into sweepStats for the task report.
 func (f *DBFinder) sweepZone(probes []zone.Probe, fn func(int, zone.ZoneRow)) error {
+	if f.Remote != nil {
+		return f.Remote.Sweep(context.Background(), probes, fn)
+	}
 	src := zone.Rows(f.zoneT, f.ZoneHeight)
 	if f.Store == StoreColumnar {
 		if ct := f.zoneT.Columnar(); ct != nil {
@@ -311,6 +338,9 @@ func (s dbSearcher) Search(raDeg, decDeg, rDeg float64, visit func(Neighbor)) er
 // run first.
 func (f *DBFinder) Searcher() (Searcher, error) {
 	if f.zoneT == nil {
+		if f.Remote != nil {
+			return nil, fmt.Errorf("maxbcg: federated runs have no local zone table")
+		}
 		return nil, fmt.Errorf("maxbcg: SpZone has not been run")
 	}
 	return dbSearcher{t: f.zoneT, height: f.ZoneHeight}, nil
@@ -322,8 +352,11 @@ func (f *DBFinder) Searcher() (Searcher, error) {
 // advance what will be required later". The Mode field picks the access
 // path; both paths fill the table with bit-identical rows.
 func (f *DBFinder) MakeCandidates(area astro.Box) (int64, error) {
-	if f.zoneT == nil {
+	if f.zoneT == nil && f.Remote == nil {
 		return 0, fmt.Errorf("maxbcg: SpZone must run before MakeCandidates")
+	}
+	if f.Remote != nil && f.Mode == SearchProbe {
+		return 0, fmt.Errorf("maxbcg: SearchProbe mode needs a local zone table (Remote is set)")
 	}
 	if err := f.candT.Truncate(); err != nil {
 		return 0, err
@@ -774,6 +807,9 @@ func (f *DBFinder) MakeMembers() (int64, error) {
 	}
 	var lists [][]Member
 	if f.Mode == SearchProbe {
+		if f.Remote != nil {
+			return 0, fmt.Errorf("maxbcg: SearchProbe mode needs a local zone table (Remote is set)")
+		}
 		s := dbSearcher{t: f.zoneT, height: f.ZoneHeight}
 		lists = make([][]Member, len(clusters))
 		for i, c := range clusters {

@@ -41,6 +41,12 @@ type TVF struct {
 	// show the physical access path (ColumnarScan when a column-major
 	// projection is attached, IndexScan otherwise) under a ZoneSweepJoin.
 	Source *Table
+
+	// Access labels the access path for EXPLAIN when the TVF reads no
+	// local table at all — a federated sweep over remote stripe
+	// workers (internal/fed) shows its fan-out here. Ignored when
+	// Source is set.
+	Access string
 }
 
 // evalCall dispatches a (non-aggregate) function call: builtins first, then

@@ -611,6 +611,16 @@ func (o *accessPathOp) describe() string   { return o.label }
 func (o *accessPathOp) children() []physOp { return nil }
 func (o *accessPathOp) stats() *opStats    { return &o.st }
 
+// tvfAccessPath builds the display leaf for a batch TVF: its source
+// table's access path, or — for source-less TVFs like the federated
+// sweep — the TVF's own Access label.
+func tvfAccessPath(t *TVF) *accessPathOp {
+	if t.Source == nil && t.Access != "" {
+		return &accessPathOp{st: opStats{est: -1}, label: t.Access}
+	}
+	return sweepAccessPath(t.Source)
+}
+
 // sweepAccessPath builds the display leaf for a batch TVF's source table.
 // One view keeps the label's (projection, key, count) triple coherent;
 // the sweep itself re-pins its own view when it runs.
@@ -1551,7 +1561,7 @@ func (db *DB) lowerJoin(j *logJoin, params []Value, knobs PlannerKnobs, cc *canc
 		if tvf.tvf.Batch != nil && !knobs.NoZoneSweepJoin {
 			db.metrics().rule("ZoneSweepJoin")
 			return &zoneSweepJoinOp{
-				st: opStats{est: -1}, left: left, access: sweepAccessPath(tvf.tvf.Source),
+				st: opStats{est: -1}, left: left, access: tvfAccessPath(tvf.tvf),
 				tvf: tvf.tvf, name: tvf.name, alias: tvf.alias, args: args, on: on,
 				cc: cc, evLeft: evLeft, evBoth: evBoth,
 			}, nil
